@@ -1,0 +1,330 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section V). Each BenchmarkFigNN runs the corresponding harness from
+// internal/experiments at a bounded budget and reports the headline metric
+// (IPS or latency) alongside the usual ns/op. For paper-scale numbers use
+// cmd/distbench with -budget full or -budget paper.
+package distredge
+
+import (
+	"testing"
+
+	"distredge/internal/baselines"
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/experiments"
+	"distredge/internal/network"
+	"distredge/internal/partition"
+	"distredge/internal/rl"
+	"distredge/internal/sim"
+	"distredge/internal/splitter"
+	"distredge/internal/strategy"
+)
+
+func benchBudget() experiments.Budget {
+	b := experiments.Tiny()
+	b.Episodes = 40
+	b.StreamImages = 50
+	return b
+}
+
+// BenchmarkFig04StableTraces regenerates the Fig. 4 stable WiFi traces.
+func BenchmarkFig04StableTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig04StableTraces(1)
+		if len(rows) != 4 {
+			b.Fatal("bad trace rows")
+		}
+	}
+}
+
+// BenchmarkFig05AlphaSweep regenerates one case of the Fig. 5 α sweep.
+func BenchmarkFig05AlphaSweep(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig05AlphaSweep(bud, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, r := range rows {
+			if r.IPS > best {
+				best = r.IPS
+			}
+		}
+		b.ReportMetric(best, "bestIPS")
+	}
+}
+
+// BenchmarkFig06RrsSweep regenerates the Fig. 6 |Rrs| stability sweep with
+// a small repetition count.
+func BenchmarkFig06RrsSweep(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig06RrsSweep(bud, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// benchmarkMethodFigure runs a Fig. 7/8/9/10/11-style harness and reports
+// DistrEdge's mean IPS and its mean speedup over the best baseline per case.
+func benchmarkMethodFigure(b *testing.B, run func(experiments.Budget) ([]experiments.MethodRow, error)) {
+	b.Helper()
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := run(bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byCase := map[string][]experiments.MethodRow{}
+		for _, r := range rows {
+			byCase[r.Case] = append(byCase[r.Case], r)
+		}
+		var ipsSum, spdSum float64
+		for _, cr := range byCase {
+			de, ok := experiments.FindRow(cr, experiments.MethodDistrEdge)
+			if !ok {
+				b.Fatal("missing DistrEdge row")
+			}
+			ipsSum += de.IPS
+			if best := experiments.BestBaselineIPS(cr); best > 0 {
+				spdSum += de.IPS / best
+			}
+		}
+		n := float64(len(byCase))
+		b.ReportMetric(ipsSum/n, "distredgeIPS")
+		b.ReportMetric(spdSum/n, "speedup")
+	}
+}
+
+// BenchmarkFig07HeterogeneousDevices regenerates Fig. 7 (Table I).
+func BenchmarkFig07HeterogeneousDevices(b *testing.B) {
+	benchmarkMethodFigure(b, experiments.Fig07HeterogeneousDevices)
+}
+
+// BenchmarkFig08HeterogeneousNetworks regenerates Fig. 8 (Table II).
+func BenchmarkFig08HeterogeneousNetworks(b *testing.B) {
+	benchmarkMethodFigure(b, experiments.Fig08HeterogeneousNetworks)
+}
+
+// BenchmarkFig09LargeScale regenerates Fig. 9 (Table III, 16 devices).
+func BenchmarkFig09LargeScale(b *testing.B) {
+	benchmarkMethodFigure(b, experiments.Fig09LargeScale)
+}
+
+// BenchmarkFig10ModelsDB regenerates Fig. 10 (seven models, Group DB).
+func BenchmarkFig10ModelsDB(b *testing.B) {
+	benchmarkMethodFigure(b, experiments.Fig10ModelsDB)
+}
+
+// BenchmarkFig11ModelsNA regenerates Fig. 11 (seven models, Group NA).
+func BenchmarkFig11ModelsNA(b *testing.B) {
+	benchmarkMethodFigure(b, experiments.Fig11ModelsNA)
+}
+
+// BenchmarkFig12DynamicTraces regenerates the Fig. 12 dynamic traces.
+func BenchmarkFig12DynamicTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12DynamicTraces(1)
+		if len(rows) != 4 {
+			b.Fatal("bad trace rows")
+		}
+	}
+}
+
+// BenchmarkFig13DynamicLatency regenerates the Fig. 13 online-adaptation
+// timeline and reports the DistrEdge/AOFL latency ratio (paper: 40-65%).
+func BenchmarkFig13DynamicLatency(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13DynamicLatency(bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := experiments.Summarise(rows)
+		b.ReportMetric(s.MeanDistrEdgeMS, "distredgeMS")
+		b.ReportMetric(100*s.DistrEdgeOverAOFL, "pctOfAOFL")
+	}
+}
+
+// BenchmarkFig14NonlinearLatency regenerates the Fig. 14 staircase curve.
+func BenchmarkFig14NonlinearLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig14Nonlinear(device.Xavier)
+		b.ReportMetric(experiments.Staircaseness(rows), "staircaseness")
+	}
+}
+
+// BenchmarkFig15LatencyBreakdown regenerates the Fig. 15 per-method
+// transmission/compute breakdown.
+func BenchmarkFig15LatencyBreakdown(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15Breakdown(bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		de, ok := experiments.FindRow(rows, experiments.MethodDistrEdge)
+		if !ok {
+			b.Fatal("missing DistrEdge row")
+		}
+		b.ReportMetric(de.MaxCompMS, "maxCompMS")
+		b.ReportMetric(de.MaxTransMS, "maxTransMS")
+	}
+}
+
+// ------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationNonlinearity measures DistrEdge's speedup over AOFL on
+// staircase vs linearised devices — the paper's causal claim in one number
+// pair (staircase margin should exceed the linear margin).
+func BenchmarkAblationNonlinearity(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationNonlinearity(bud, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StaircaseSpeedup, "stairSpeedup")
+		b.ReportMetric(res.LinearSpeedup, "linearSpeedup")
+	}
+}
+
+// BenchmarkAblationWarmStart measures OSDS with and without the
+// profile-guided warm-start episodes at a short budget.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationWarmStart(bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithWarmStartIPS, "warmIPS")
+		b.ReportMetric(res.WithoutWarmStartIPS, "coldIPS")
+	}
+}
+
+// BenchmarkAblationPartition compares OSDS over LC-PSS vs fixed partition
+// families (single volume / pool boundaries / layer-by-layer).
+func BenchmarkAblationPartition(b *testing.B) {
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPartition(bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.IPS, r.Partition+"IPS")
+		}
+	}
+}
+
+// BenchmarkAutoAlpha measures the α-portfolio planner (the paper's Fig. 5
+// selection methodology applied per case).
+func BenchmarkAutoAlpha(b *testing.B) {
+	bud := benchBudget()
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		_, alpha, ips, err := experiments.PlanDistrEdgeAutoAlpha(env, bud, []float64{0.5, 0.75})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ips, "IPS")
+		b.ReportMetric(alpha, "alpha")
+	}
+}
+
+// ------------------------------------------------------------------
+// Micro-benchmarks for the core building blocks.
+
+func benchEnv() *sim.Env {
+	devs := device.Fleet(device.Xavier, device.Xavier, device.Nano, device.Nano)
+	net := &network.Network{Requester: network.DefaultLink(network.Constant(200))}
+	for range devs {
+		net.Providers = append(net.Providers, network.DefaultLink(network.Constant(200)))
+	}
+	return &sim.Env{Model: cnn.VGG16(), Devices: device.AsModels(devs), Net: net}
+}
+
+// BenchmarkSimLatency measures one end-to-end latency evaluation — the
+// inner loop of both OSDS training and streaming measurements.
+func BenchmarkSimLatency(b *testing.B) {
+	env := benchEnv()
+	boundaries := []int{0, 10, 14, 18}
+	s := &strategy.Strategy{Boundaries: boundaries}
+	for v := 0; v+1 < len(boundaries); v++ {
+		h := strategy.VolumeHeight(env.Model, boundaries, v)
+		s.Splits = append(s.Splits, strategy.EqualCuts(h, 4))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Latency(s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLCPSS measures a full partition search on VGG-16.
+func BenchmarkLCPSS(b *testing.B) {
+	m := cnn.VGG16()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Search(m, partition.Config{
+			Alpha: 0.75, NumRandomSplits: 100, Providers: 4, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOSDSSearch measures a short OSDS training run.
+func BenchmarkOSDSSearch(b *testing.B) {
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		if _, err := splitter.Search(env, []int{0, 10, 14, 18}, splitter.Config{
+			Episodes: 20, Hidden: []int{16, 16}, Batch: 16, Seed: 1, WarmStart: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDDPGUpdate measures one actor+critic gradient step at the
+// paper's network sizes ({400,200,100}, batch 64).
+func BenchmarkDDPGUpdate(b *testing.B) {
+	agent, err := rl.New(rl.Config{StateDim: 8, ActionDim: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		agent.Buf.Add(rl.Transition{
+			State:     make([]float64, 8),
+			Action:    make([]float64, 3),
+			Reward:    1,
+			NextState: make([]float64, 8),
+			Done:      i%6 == 5,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(64)
+	}
+}
+
+// BenchmarkBaselinePlan measures planning cost of each baseline method.
+func BenchmarkBaselinePlan(b *testing.B) {
+	env := benchEnv()
+	for _, m := range baselines.All() {
+		b.Run(string(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baselines.Plan(m, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+// Command distbench reproduces the paper's evaluation: one sub-report per
+// table/figure (Fig. 4-15), printed as aligned text tables.
+//
+// Usage:
+//
+//	distbench -fig all -budget quick
+//	distbench -fig 7 -budget full
+//
+// Budgets: tiny (seconds), quick (default, ~minutes), full (tens of
+// minutes), paper (the paper's Max_ep=4000 configuration; hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"distredge/internal/device"
+	"distredge/internal/experiments"
+	"distredge/internal/network"
+	"distredge/internal/plot"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15 or 'all'")
+	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
+	flag.Parse()
+
+	var b experiments.Budget
+	switch *budget {
+	case "tiny":
+		b = experiments.Tiny()
+	case "quick":
+		b = experiments.Quick()
+	case "full":
+		b = experiments.Full()
+	case "paper":
+		b = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown budget %q\n", *budget)
+		os.Exit(2)
+	}
+	b.Seed = *seed
+
+	figs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	if *fig != "all" {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{n}
+	}
+
+	for _, f := range figs {
+		start := time.Now()
+		if err := run(f, b, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %d: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(fig %d took %.1fs)\n\n", f, time.Since(start).Seconds())
+	}
+}
+
+func run(fig int, b experiments.Budget, reps int) error {
+	switch fig {
+	case 4:
+		header("Fig. 4 — stable WiFi throughput traces")
+		printTraces(experiments.Fig04StableTraces(b.Seed))
+		var series []plot.Series
+		for _, bw := range []float64{300, 200, 100, 50} {
+			tr := network.Stable(bw, 60, b.Seed+int64(bw))
+			series = append(series, plot.Series{Name: fmt.Sprintf("%gMbps", bw), Values: tr.Mbps})
+		}
+		fmt.Print(plot.Lines(series, 64))
+	case 5:
+		header("Fig. 5 — IPS vs LC-PSS alpha (VGG-16)")
+		rows, err := experiments.Fig05AlphaSweep(b, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %6s %8s %8s\n", "case", "alpha", "volumes", "IPS")
+		for _, r := range rows {
+			fmt.Printf("%-16s %6.2f %8d %8.2f\n", r.Case, r.Alpha, r.Volumes, r.IPS)
+		}
+	case 6:
+		header("Fig. 6 — IPS spread vs |Rrs| (VGG-16)")
+		rows, err := experiments.Fig06RrsSweep(b, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %5s %5s %8s %8s %8s\n", "case", "Rrs", "reps", "min", "mean", "max")
+		for _, r := range rows {
+			fmt.Printf("%-14s %5d %5d %8.2f %8.2f %8.2f\n", r.Case, r.Rrs, r.Reps, r.MinIPS, r.MeanIPS, r.MaxIPS)
+		}
+	case 7:
+		header("Fig. 7 — heterogeneous devices (Table I), VGG-16")
+		rows, err := experiments.Fig07HeterogeneousDevices(b)
+		if err != nil {
+			return err
+		}
+		printMethodRows(rows)
+	case 8:
+		header("Fig. 8 — heterogeneous networks (Table II), VGG-16")
+		rows, err := experiments.Fig08HeterogeneousNetworks(b)
+		if err != nil {
+			return err
+		}
+		printMethodRows(rows)
+	case 9:
+		header("Fig. 9 — large scale: 16 devices (Table III), VGG-16")
+		rows, err := experiments.Fig09LargeScale(b)
+		if err != nil {
+			return err
+		}
+		printMethodRows(rows)
+	case 10:
+		header("Fig. 10 — other models, Group DB @ 50 Mbps")
+		rows, err := experiments.Fig10ModelsDB(b)
+		if err != nil {
+			return err
+		}
+		printMethodRows(rows)
+	case 11:
+		header("Fig. 11 — other models, Group NA with Nano fleet")
+		rows, err := experiments.Fig11ModelsNA(b)
+		if err != nil {
+			return err
+		}
+		printMethodRows(rows)
+	case 12:
+		header("Fig. 12 — highly dynamic throughput traces")
+		printTraces(experiments.Fig12DynamicTraces(b.Seed))
+		var series []plot.Series
+		for i := 0; i < 4; i++ {
+			tr := network.Dynamic(40, 100, 60, b.Seed+int64(i)*31)
+			series = append(series, plot.Series{Name: fmt.Sprintf("device-%d", i+1), Values: tr.Mbps})
+		}
+		fmt.Print(plot.Lines(series, 64))
+	case 13:
+		header("Fig. 13 — per-image latency under dynamic networks (4x Nano)")
+		rows, err := experiments.Fig13DynamicLatency(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6s %12s %12s %12s\n", "minute", "CoEdge(ms)", "AOFL(ms)", "DistrEdge(ms)")
+		for _, r := range rows {
+			if r.MinuteSlot%5 == 0 {
+				fmt.Printf("%6d %12.1f %12.1f %12.1f\n", r.MinuteSlot, r.CoEdgeMS, r.AOFLMS, r.DistrEdgeMS)
+			}
+		}
+		s := experiments.Summarise(rows)
+		fmt.Printf("means: CoEdge %.1fms  AOFL %.1fms  DistrEdge %.1fms  (DistrEdge/AOFL = %.0f%%)\n",
+			s.MeanCoEdgeMS, s.MeanAOFLMS, s.MeanDistrEdgeMS, 100*s.DistrEdgeOverAOFL)
+		co := make([]float64, len(rows))
+		ao := make([]float64, len(rows))
+		de := make([]float64, len(rows))
+		for i, r := range rows {
+			co[i], ao[i], de[i] = r.CoEdgeMS, r.AOFLMS, r.DistrEdgeMS
+		}
+		fmt.Print(plot.Lines([]plot.Series{
+			{Name: "AOFL", Values: ao},
+			{Name: "CoEdge", Values: co},
+			{Name: "DistrEdge", Values: de},
+		}, 60))
+	case 14:
+		header("Fig. 14 — computing latency vs output extent (10-layer volume)")
+		for _, dt := range []device.Type{device.Xavier, device.TX2, device.Nano, device.Pi3} {
+			rows := experiments.Fig14Nonlinear(dt)
+			fmt.Printf("%-7s staircaseness=%.2f  lat(50)=%.1fms lat(150)=%.1fms lat(250)=%.1fms lat(350)=%.1fms\n",
+				dt, experiments.Staircaseness(rows),
+				rows[0].LatencyMS, rows[50].LatencyMS, rows[100].LatencyMS, rows[150].LatencyMS)
+		}
+		// The staircase itself, on the widest-wave device.
+		xa := experiments.Fig14Nonlinear(device.Xavier)
+		curve := make([]float64, len(xa))
+		for i, r := range xa {
+			curve[i] = r.LatencyMS
+		}
+		fmt.Printf("xavier  %s\n", plot.Sparkline(plot.Downsample(curve, 72)))
+	case 15:
+		header("Fig. 15 — max transmission & computing latency (DB, 50 Mbps)")
+		rows, err := experiments.Fig15Breakdown(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %12s %12s\n", "method", "maxTrans(ms)", "maxComp(ms)")
+		for _, r := range rows {
+			fmt.Printf("%-14s %12.1f %12.1f\n", r.Method, r.MaxTransMS, r.MaxCompMS)
+		}
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+	return nil
+}
+
+func header(s string) {
+	fmt.Println(strings.Repeat("=", len(s)))
+	fmt.Println(s)
+	fmt.Println(strings.Repeat("=", len(s)))
+}
+
+func printTraces(rows []experiments.TraceRow) {
+	fmt.Printf("%-10s %10s %8s %8s %8s %6s\n", "trace", "mean Mbps", "min", "max", "std", "cv")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10.1f %8.1f %8.1f %8.1f %6.3f\n",
+			r.Name, r.MeanMbps, r.MinMbps, r.MaxMbps, r.StdMbps, r.CoefficientVariation)
+	}
+}
+
+func printMethodRows(rows []experiments.MethodRow) {
+	experiments.SortRows(rows)
+	fmt.Printf("%-22s %-14s %7s %8s %10s %10s %5s\n",
+		"case", "method", "IPS", "lat(ms)", "comp(ms)", "trans(ms)", "vols")
+	lastCase := ""
+	for _, r := range rows {
+		if r.Case != lastCase && lastCase != "" {
+			fmt.Println()
+		}
+		lastCase = r.Case
+		fmt.Printf("%-22s %-14s %7.2f %8.1f %10.1f %10.1f %5d\n",
+			r.Case, r.Method, r.IPS, r.MeanLatMS, r.MaxCompMS, r.MaxTransMS, r.Volumes)
+	}
+}

@@ -1,0 +1,68 @@
+// Command distnode deploys a planned strategy over real TCP sockets on
+// localhost — one listener per provider with receive/compute/send
+// goroutines, exactly the runtime shape of the paper's testbed
+// (Section V-A) — and streams images through it.
+//
+// Compute is emulated (sleep = device-model latency x -timescale) while the
+// routing, framing, halo exchange and FC gathering are performed for real.
+//
+// Usage:
+//
+//	distnode -model vgg16 -providers xavier:200,nano:200 -images 20 -timescale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distredge"
+	"distredge/internal/runtime"
+)
+
+func main() {
+	model := flag.String("model", "vgg16", "model: "+strings.Join(distredge.Models(), ", "))
+	provSpec := flag.String("providers", "xavier:200,nano:200", "comma-separated type:bandwidthMbps list")
+	images := flag.Int("images", 10, "images to stream")
+	timescale := flag.Float64("timescale", 0.1, "compute emulation time scale (1.0 = full model latency)")
+	bytescale := flag.Float64("bytescale", 0.01, "payload byte scale (1.0 = full activation sizes)")
+	effort := flag.String("effort", "tiny", "planning effort: tiny|quick|full|paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	providers, err := distredge.ParseProviders(*provSpec)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := distredge.New(*model, providers, distredge.WithSeed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := sys.Plan(distredge.PlanConfig{Effort: distredge.Effort(*effort)})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan.Describe(*model))
+
+	cluster, err := sys.Deploy(plan, runtime.Options{TimeScale: *timescale, BytesScale: *bytescale})
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("deployed %d providers; requester at %s\n", cluster.NumProviders(), cluster.Addr())
+
+	stats, err := cluster.Run(*images)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("streamed %d images in %.2fs — %.2f images/sec\n", stats.Images, stats.TotalSec, stats.IPS)
+	for i, ms := range stats.PerImageMS {
+		fmt.Printf("  image %2d: %7.1f ms\n", i+1, ms)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distnode:", err)
+	os.Exit(1)
+}

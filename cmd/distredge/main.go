@@ -1,0 +1,116 @@
+// Command distredge plans a CNN inference distribution strategy for a set
+// of edge devices and reports the predicted streaming performance, along
+// with every baseline method for comparison.
+//
+// Usage:
+//
+//	distredge -model vgg16 -providers xavier:200,xavier:200,nano:200,nano:200
+//	distredge -model yolov2 -providers nano:50,nano:100,tx2:200 -effort full
+//	distredge -model vgg16 -providers nano:100,nano:100 -baselines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"distredge"
+)
+
+func main() {
+	model := flag.String("model", "vgg16", "model: "+strings.Join(distredge.Models(), ", "))
+	provSpec := flag.String("providers", "xavier:200,xavier:200,nano:200,nano:200",
+		"comma-separated type:bandwidthMbps provider list")
+	alpha := flag.Float64("alpha", 0.75, "LC-PSS alpha (transmission/ops trade-off)")
+	effort := flag.String("effort", "quick", "planning effort: tiny|quick|full|paper")
+	images := flag.Int("images", 500, "images to stream in the evaluation")
+	seed := flag.Int64("seed", 1, "random seed")
+	withBaselines := flag.Bool("baselines", false, "also evaluate the seven baseline methods")
+	describe := flag.Bool("describe", false, "print the model's per-layer summary and exit")
+	timeline := flag.Bool("timeline", false, "render a per-device Gantt chart of one image")
+	savePath := flag.String("save", "", "write the planned strategy to this JSON file")
+	loadPath := flag.String("load", "", "evaluate a previously saved strategy instead of planning")
+	flag.Parse()
+
+	if *describe {
+		s, err := distredge.DescribeModel(*model)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+
+	providers, err := distredge.ParseProviders(*provSpec)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := distredge.New(*model, providers, distredge.WithSeed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+
+	var plan *distredge.Plan
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = sys.LoadPlan(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		plan, err = sys.Plan(distredge.PlanConfig{Alpha: *alpha, Effort: distredge.Effort(*effort)})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(plan.Describe(*model))
+	if *savePath != "" {
+		data, err := sys.SavePlan(plan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved plan to %s\n", *savePath)
+	}
+	rep, err := sys.Evaluate(plan, *images)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-14s IPS=%7.2f  latency=%7.1fms  maxComp=%6.1fms  maxTrans=%6.1fms\n",
+		plan.Method, rep.IPS, rep.MeanLatMS, rep.MaxCompMS, rep.MaxTransMS)
+
+	if *timeline {
+		gantt, err := sys.Timeline(plan)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(gantt)
+	}
+
+	if *withBaselines {
+		for _, name := range distredge.Baselines() {
+			bp, err := sys.Baseline(name)
+			if err != nil {
+				fatal(err)
+			}
+			brep, err := sys.Evaluate(bp, *images)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s IPS=%7.2f  latency=%7.1fms  maxComp=%6.1fms  maxTrans=%6.1fms\n",
+				name, brep.IPS, brep.MeanLatMS, brep.MaxCompMS, brep.MaxTransMS)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distredge:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,330 @@
+// Package distredge is the public API of this DistrEdge reproduction
+// (Hou et al., "DistrEdge: Speeding up Convolutional Neural Network
+// Inference on Distributed Edge Devices", IPDPS 2022).
+//
+// The typical flow mirrors the paper's deployment (Section IV): describe
+// the service providers (device type + link bandwidth), pick a CNN from the
+// model zoo, Plan a distribution strategy (LC-PSS horizontal partition +
+// OSDS vertical split via DDPG), then Evaluate it on the simulator or
+// Deploy it over real localhost TCP sockets.
+//
+//	sys, _ := distredge.New("vgg16", []distredge.Provider{
+//		{Type: "xavier", BandwidthMbps: 200},
+//		{Type: "xavier", BandwidthMbps: 200},
+//		{Type: "nano", BandwidthMbps: 200},
+//		{Type: "nano", BandwidthMbps: 200},
+//	}, distredge.WithSeed(1))
+//	plan, _ := sys.Plan(distredge.PlanConfig{Effort: distredge.EffortQuick})
+//	report, _ := sys.Evaluate(plan, 500)
+//	fmt.Printf("%.1f images/sec\n", report.IPS)
+package distredge
+
+import (
+	"fmt"
+
+	"distredge/internal/baselines"
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/experiments"
+	"distredge/internal/network"
+	"distredge/internal/partition"
+	"distredge/internal/runtime"
+	"distredge/internal/sim"
+	"distredge/internal/splitter"
+	"distredge/internal/strategy"
+)
+
+// Provider describes one service provider: its hardware type and the
+// nominal bandwidth of its WiFi link.
+type Provider struct {
+	Type          string  // "pi3", "nano", "tx2" or "xavier"
+	BandwidthMbps float64 // nominal link bandwidth
+}
+
+// Effort selects a planning budget (see DESIGN.md): the paper's own
+// configuration is EffortPaper; smaller efforts trade strategy quality for
+// wall-clock.
+type Effort string
+
+// Planning efforts.
+const (
+	EffortTiny  Effort = "tiny"
+	EffortQuick Effort = "quick"
+	EffortFull  Effort = "full"
+	EffortPaper Effort = "paper"
+)
+
+func (e Effort) budget() (experiments.Budget, error) {
+	switch e {
+	case EffortTiny:
+		return experiments.Tiny(), nil
+	case EffortQuick, "":
+		return experiments.Quick(), nil
+	case EffortFull:
+		return experiments.Full(), nil
+	case EffortPaper:
+		return experiments.Paper(), nil
+	default:
+		return experiments.Budget{}, fmt.Errorf("distredge: unknown effort %q", e)
+	}
+}
+
+// PlanConfig configures Plan.
+type PlanConfig struct {
+	// Alpha is the LC-PSS transmission/operations trade-off (paper default
+	// 0.75 when zero).
+	Alpha float64
+	// Effort selects the planning budget (default EffortQuick).
+	Effort Effort
+}
+
+// Option customises New.
+type Option func(*System)
+
+// WithSeed fixes the random seed for deterministic planning.
+func WithSeed(seed int64) Option {
+	return func(s *System) { s.seed = seed }
+}
+
+// WithDynamicNetwork replaces the stable traces with highly fluctuating
+// 40-100 Mbps traces (the paper's Fig. 12 regime); provider bandwidths are
+// then ignored.
+func WithDynamicNetwork() Option {
+	return func(s *System) { s.dynamic = true }
+}
+
+// System binds a model to a concrete set of providers.
+type System struct {
+	env     *sim.Env
+	seed    int64
+	dynamic bool
+}
+
+// Models lists the available CNN models (the paper's full evaluation zoo).
+func Models() []string { return cnn.ZooNames() }
+
+// New builds a system for the named zoo model and providers.
+func New(model string, providers []Provider, opts ...Option) (*System, error) {
+	m, ok := cnn.Zoo()[model]
+	if !ok {
+		return nil, fmt.Errorf("distredge: unknown model %q (have %v)", model, cnn.ZooNames())
+	}
+	if len(providers) < 1 {
+		return nil, fmt.Errorf("distredge: need at least one provider")
+	}
+	s := &System{seed: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	devs := make([]device.Profile, len(providers))
+	bws := make([]float64, len(providers))
+	for i, p := range providers {
+		d, err := device.New(device.Type(p.Type), fmt.Sprintf("%s-%d", p.Type, i))
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
+		bws[i] = p.BandwidthMbps
+		if bws[i] <= 0 {
+			return nil, fmt.Errorf("distredge: provider %d has non-positive bandwidth", i)
+		}
+	}
+	var net *network.Network
+	if s.dynamic {
+		net = &network.Network{Requester: network.DefaultLink(network.Stable(300, 60, s.seed+997))}
+		for i := range providers {
+			net.Providers = append(net.Providers, network.DefaultLink(network.Dynamic(40, 100, 60, s.seed+int64(i)*31)))
+		}
+	} else {
+		net = network.NewStable(bws, 60, s.seed)
+	}
+	s.env = &sim.Env{Model: m, Devices: device.AsModels(devs), Net: net}
+	return s, nil
+}
+
+// Plan holds a distribution strategy and where it came from.
+type Plan struct {
+	Method   string
+	Strategy *strategy.Strategy
+}
+
+// Plan runs the DistrEdge pipeline (LC-PSS + OSDS) and returns the chosen
+// strategy.
+func (s *System) Plan(cfg PlanConfig) (*Plan, error) {
+	b, err := cfg.Effort.budget()
+	if err != nil {
+		return nil, err
+	}
+	b.Seed = s.seed
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.75
+	}
+	strat, err := experiments.PlanDistrEdge(s.env, b, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Method: experiments.MethodDistrEdge, Strategy: strat}, nil
+}
+
+// Baselines lists the seven comparison methods of the paper (Section V-B).
+func Baselines() []string {
+	out := make([]string, 0, 7)
+	for _, m := range baselines.All() {
+		out = append(out, string(m))
+	}
+	return out
+}
+
+// Baseline plans with one of the paper's comparison methods instead of
+// DistrEdge.
+func (s *System) Baseline(method string) (*Plan, error) {
+	strat, err := baselines.Plan(baselines.Method(method), s.env)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Method: method, Strategy: strat}, nil
+}
+
+// Report summarises an evaluation.
+type Report struct {
+	IPS        float64
+	MeanLatMS  float64
+	MaxCompMS  float64
+	MaxTransMS float64
+	Volumes    int
+}
+
+// Evaluate streams `images` images through the plan on the simulator
+// (paper metric: averaged images-per-second, Section V-A).
+func (s *System) Evaluate(p *Plan, images int) (Report, error) {
+	res, err := s.env.Stream(p.Strategy, images, 0)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		IPS:        res.IPS,
+		MeanLatMS:  res.MeanLatMS,
+		MaxCompMS:  res.Breakdown.MaxComp() * 1e3,
+		MaxTransMS: res.Breakdown.MaxTrans() * 1e3,
+		Volumes:    p.Strategy.NumVolumes(),
+	}, nil
+}
+
+// Deploy executes the plan over real TCP sockets on localhost with emulated
+// compute (see internal/runtime). Close the returned cluster when done.
+func (s *System) Deploy(p *Plan, opts runtime.Options) (*runtime.Cluster, error) {
+	return runtime.Deploy(s.env, p.Strategy, opts)
+}
+
+// Describe renders the strategy in human-readable form.
+func (p *Plan) Describe(modelName string) string {
+	out := fmt.Sprintf("%s strategy for %s: %d layer-volume(s)\n", p.Method, modelName, p.Strategy.NumVolumes())
+	for v := 0; v < p.Strategy.NumVolumes(); v++ {
+		out += fmt.Sprintf("  volume %d: layers [%d,%d) cuts %v\n",
+			v, p.Strategy.Boundaries[v], p.Strategy.Boundaries[v+1], p.Strategy.Splits[v])
+	}
+	return out
+}
+
+// SavePlan serialises a plan to versioned JSON (loadable with LoadPlan).
+func (s *System) SavePlan(p *Plan) ([]byte, error) {
+	return strategy.MarshalJSON(p.Strategy, s.env.Model.Name)
+}
+
+// LoadPlan parses a plan saved by SavePlan and validates it against this
+// system's model and provider count.
+func (s *System) LoadPlan(data []byte) (*Plan, error) {
+	strat, err := strategy.UnmarshalJSON(data, s.env.Model, s.env.NumProviders())
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Method: "loaded", Strategy: strat}, nil
+}
+
+// DescribeModel returns the per-layer summary table of a zoo model.
+func DescribeModel(model string) (string, error) {
+	m, ok := cnn.Zoo()[model]
+	if !ok {
+		return "", fmt.Errorf("distredge: unknown model %q (have %v)", model, cnn.ZooNames())
+	}
+	return m.Summary(), nil
+}
+
+// Timeline renders a per-device Gantt chart of one image executing under
+// the plan: scatter, halo transfers, per-volume compute, FC gather and the
+// result's return.
+func (s *System) Timeline(p *Plan) (string, error) {
+	events, total, err := s.env.Timeline(p.Strategy, 0)
+	if err != nil {
+		return "", err
+	}
+	return sim.RenderTimeline(events, total, 72), nil
+}
+
+// PartitionOnly runs just LC-PSS (useful for inspecting partition schemes).
+func (s *System) PartitionOnly(alpha float64, effort Effort) ([]int, error) {
+	b, err := effort.budget()
+	if err != nil {
+		return nil, err
+	}
+	return partition.Search(s.env.Model, partition.Config{
+		Alpha:           alpha,
+		NumRandomSplits: b.RandomSplits,
+		Providers:       s.env.NumProviders(),
+		Seed:            s.seed,
+	})
+}
+
+// Finetuner exposes online adaptation (Section V-F): keep the trained OSDS
+// agent alive and refit when network conditions change.
+type Finetuner struct {
+	trainer *splitter.Trainer
+	sys     *System
+}
+
+// NewFinetuner trains an agent once and returns a handle for later
+// finetuning.
+func (s *System) NewFinetuner(cfg PlanConfig) (*Finetuner, *Plan, error) {
+	b, err := cfg.Effort.budget()
+	if err != nil {
+		return nil, nil, err
+	}
+	b.Seed = s.seed
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.75
+	}
+	boundaries, err := partition.Search(s.env.Model, partition.Config{
+		Alpha:           alpha,
+		NumRandomSplits: b.RandomSplits,
+		Providers:       s.env.NumProviders(),
+		Seed:            s.seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := splitter.NewTrainer(s.env, boundaries, splitter.Config{
+		Episodes: b.Episodes, Hidden: b.Hidden, Batch: b.Batch,
+		Seed: s.seed, WarmStart: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := tr.Run()
+	if res.Strategy == nil {
+		return nil, nil, fmt.Errorf("distredge: training found no strategy")
+	}
+	return &Finetuner{trainer: tr, sys: s},
+		&Plan{Method: experiments.MethodDistrEdge, Strategy: res.Strategy}, nil
+}
+
+// Finetune adapts the agent to the system's current environment for a few
+// episodes and returns the refreshed plan.
+func (f *Finetuner) Finetune(episodes int) (*Plan, error) {
+	res := f.trainer.Finetune(f.sys.env, episodes)
+	if res.Strategy == nil {
+		return nil, fmt.Errorf("distredge: finetune found no strategy")
+	}
+	return &Plan{Method: experiments.MethodDistrEdge, Strategy: res.Strategy}, nil
+}

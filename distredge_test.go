@@ -1,0 +1,249 @@
+package distredge
+
+import (
+	"strings"
+	"testing"
+
+	"distredge/internal/runtime"
+)
+
+func fourProviders() []Provider {
+	return []Provider{
+		{Type: "xavier", BandwidthMbps: 200},
+		{Type: "xavier", BandwidthMbps: 200},
+		{Type: "nano", BandwidthMbps: 200},
+		{Type: "nano", BandwidthMbps: 200},
+	}
+}
+
+func TestModelsAndBaselines(t *testing.T) {
+	if len(Models()) != 8 {
+		t.Errorf("Models = %v", Models())
+	}
+	if len(Baselines()) != 7 {
+		t.Errorf("Baselines = %v", Baselines())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("nope", fourProviders()); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := New("vgg16", nil); err == nil {
+		t.Error("empty providers must error")
+	}
+	if _, err := New("vgg16", []Provider{{Type: "abacus", BandwidthMbps: 10}}); err == nil {
+		t.Error("unknown device type must error")
+	}
+	if _, err := New("vgg16", []Provider{{Type: "nano", BandwidthMbps: 0}}); err == nil {
+		t.Error("zero bandwidth must error")
+	}
+}
+
+func TestPlanEvaluateRoundTrip(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(PlanConfig{Effort: EffortTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Evaluate(plan, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPS <= 0 || rep.Volumes < 1 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	desc := plan.Describe("vgg16")
+	if !strings.Contains(desc, "DistrEdge") || !strings.Contains(desc, "volume 0") {
+		t.Errorf("Describe output unexpected: %s", desc)
+	}
+}
+
+func TestPlanBeatsWorstBaseline(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(PlanConfig{Effort: EffortTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := sys.Evaluate(plan, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Baselines() {
+		bp, err := sys.Baseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Evaluate(bp, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if de.IPS < rep.IPS*0.95 {
+			t.Errorf("DistrEdge %.2f IPS below baseline %s %.2f IPS", de.IPS, name, rep.IPS)
+		}
+	}
+}
+
+func TestBaselineUnknown(t *testing.T) {
+	sys, _ := New("vgg16", fourProviders())
+	if _, err := sys.Baseline("Magic"); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestEffortValidation(t *testing.T) {
+	sys, _ := New("vgg16", fourProviders())
+	if _, err := sys.Plan(PlanConfig{Effort: Effort("weird")}); err == nil {
+		t.Error("unknown effort must error")
+	}
+}
+
+func TestPartitionOnly(t *testing.T) {
+	sys, _ := New("vgg16", fourProviders(), WithSeed(2))
+	b, err := sys.PartitionOnly(0.75, EffortTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || len(b) < 2 {
+		t.Errorf("bad boundaries %v", b)
+	}
+}
+
+func TestDeployOverTCP(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Baseline("DeeperThings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := sys.Deploy(plan, runtime.Options{TimeScale: 0.002, BytesScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stats, err := cluster.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IPS <= 0 {
+		t.Fatal("deployed run produced no throughput")
+	}
+}
+
+func TestFinetunerAdaptsToDynamicNetwork(t *testing.T) {
+	sys, err := New("vgg16", []Provider{
+		{Type: "nano", BandwidthMbps: 100},
+		{Type: "nano", BandwidthMbps: 100},
+		{Type: "nano", BandwidthMbps: 100},
+		{Type: "nano", BandwidthMbps: 100},
+	}, WithSeed(9), WithDynamicNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, plan, err := sys.NewFinetuner(PlanConfig{Effort: EffortTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy == nil {
+		t.Fatal("no initial strategy")
+	}
+	p2, err := ft.Finetune(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evaluate(p2, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseProviders(t *testing.T) {
+	ps, err := ParseProviders("xavier:200, nano:50.5,pi3:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[1].Type != "nano" || ps[1].BandwidthMbps != 50.5 {
+		t.Fatalf("parsed %+v", ps)
+	}
+	for _, bad := range []string{"", "nano", "nano:fast", "nano:100:x"} {
+		if _, err := ParseProviders(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+func TestDescribeModel(t *testing.T) {
+	s, err := DescribeModel("yolov2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "yolov2") || !strings.Contains(s, "conv1") {
+		t.Errorf("summary missing content: %q", s[:80])
+	}
+	if _, err := DescribeModel("nope"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Baseline("DeeperThings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gantt, err := sys.Timeline(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gantt, "dev  0") || !strings.Contains(gantt, "total") {
+		t.Errorf("gantt missing content:\n%s", gantt)
+	}
+}
+
+func TestSaveLoadPlan(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Baseline("AOFL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.SavePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sys.LoadPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Evaluate(plan, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Evaluate(back, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPS != b.IPS {
+		t.Errorf("loaded plan performs differently: %g vs %g", a.IPS, b.IPS)
+	}
+	// A plan saved for vgg16 must not load into a resnet50 system.
+	other, err := New("resnet50", fourProviders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.LoadPlan(data); err == nil {
+		t.Error("cross-model plan load must fail")
+	}
+}

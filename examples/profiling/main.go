@@ -1,0 +1,42 @@
+// Profiling: the paper's actual deployment workflow (Section IV). A
+// controller never sees the hardware directly — it measures per-layer
+// latency curves (the TensorRT Profiler role), fits one of the allowed
+// profile forms (measured table, linear regression, piecewise-linear,
+// k-NN), plans against that view, and only then deploys to the real
+// devices. This example quantifies how much strategy quality each profile
+// form preserves — the linear form embodies exactly the assumption the
+// paper attacks, and it shows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distredge/internal/cnn"
+	"distredge/internal/experiments"
+)
+
+func main() {
+	// Group DB at 50 Mbps — the paper's canonical heterogeneous case.
+	spec := experiments.DeviceGroups()[1].Spec(cnn.VGG16(), 50, 1)
+	env := spec.Env()
+	budget := experiments.Quick()
+
+	fmt.Println("planning VGG-16 on Group DB (Xavier x2 + Nano x2, 50 Mbps)")
+	fmt.Printf("%-10s %14s %14s %8s\n", "profile", "planned IPS", "executed IPS", "gap")
+	for _, form := range experiments.ProfileForms() {
+		res, err := experiments.PlanOnProfiles(env, budget, form)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap := (res.PlannedIPS - res.ExecutedIPS) / res.ExecutedIPS * 100
+		fmt.Printf("%-10s %14.2f %14.2f %+7.1f%%\n", form, res.PlannedIPS, res.ExecutedIPS, gap)
+	}
+
+	fmt.Println("\nThe table/piecewise/k-NN forms track the devices' staircase")
+	fmt.Println("latency, so planned and executed IPS agree closely. The linear")
+	fmt.Println("regression form is the assumption CoEdge/MoDNN/MeDNN/AOFL bake")
+	fmt.Println("in; OSDS's measured best-strategy tracking partly rescues it,")
+	fmt.Println("but the baselines' proportional split rules have no such safety")
+	fmt.Println("net — which is why they misallocate on nonlinear devices.")
+}

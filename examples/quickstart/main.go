@@ -1,0 +1,58 @@
+// Quickstart: plan a DistrEdge strategy for VGG-16 on four heterogeneous
+// edge devices, evaluate it against the strongest baseline, and print the
+// result — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distredge"
+)
+
+func main() {
+	// A living room's worth of idle edge hardware: two Jetson Xaviers and
+	// two Jetson Nanos, all on the same 200 Mbps WiFi (the paper's
+	// Group-DB shape, Table I).
+	sys, err := distredge.New("vgg16", []distredge.Provider{
+		{Type: "xavier", BandwidthMbps: 200},
+		{Type: "xavier", BandwidthMbps: 200},
+		{Type: "nano", BandwidthMbps: 200},
+		{Type: "nano", BandwidthMbps: 200},
+	}, distredge.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plan with the DistrEdge pipeline: LC-PSS picks the layer-volumes,
+	// OSDS (DDPG) picks the per-volume split across the devices.
+	plan, err := sys.Plan(distredge.PlanConfig{Effort: distredge.EffortQuick})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Describe("vgg16"))
+
+	report, err := sys.Evaluate(plan, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDistrEdge:  %6.2f images/sec (mean latency %.1f ms)\n", report.IPS, report.MeanLatMS)
+
+	// Compare against the strongest of the paper's seven baselines.
+	bestName, bestIPS := "", 0.0
+	for _, name := range distredge.Baselines() {
+		bp, err := sys.Baseline(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sys.Evaluate(bp, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.IPS > bestIPS {
+			bestName, bestIPS = name, r.IPS
+		}
+	}
+	fmt.Printf("best baseline (%s): %6.2f images/sec\n", bestName, bestIPS)
+	fmt.Printf("speedup: %.2fx\n", report.IPS/bestIPS)
+}

@@ -1,0 +1,243 @@
+package baselines
+
+import (
+	"testing"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/network"
+	"distredge/internal/sim"
+	"distredge/internal/strategy"
+)
+
+func testEnv(bw float64, types ...device.Type) *sim.Env {
+	devs := device.Fleet(types...)
+	net := &network.Network{Requester: network.DefaultLink(network.Constant(bw))}
+	for range devs {
+		net.Providers = append(net.Providers, network.DefaultLink(network.Constant(bw)))
+	}
+	return &sim.Env{Model: cnn.VGG16(), Devices: device.AsModels(devs), Net: net}
+}
+
+func TestAllMethodsPlanValidStrategies(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.TX2, device.Nano, device.Pi3)
+	for _, m := range All() {
+		s, err := Plan(m, env)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if err := s.Validate(env.Model, 4); err != nil {
+			t.Errorf("%s: invalid strategy: %v", m, err)
+			continue
+		}
+		if lat, _, err := env.Latency(s, 0); err != nil || lat <= 0 {
+			t.Errorf("%s: strategy does not execute: lat=%g err=%v", m, lat, err)
+		}
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	env := testEnv(100, device.Nano, device.Nano)
+	if _, err := Plan(Method("Mystery"), env); err == nil {
+		t.Error("unknown method must error")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	ms := All()
+	if len(ms) != 7 || ms[0] != CoEdge || ms[6] != Offload {
+		t.Errorf("method order wrong: %v", ms)
+	}
+}
+
+func TestOffloadPicksBestDevice(t *testing.T) {
+	env := testEnv(100, device.Pi3, device.Nano, device.Xavier, device.TX2)
+	s, err := Plan(Offload, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVolumes() != 1 {
+		t.Fatalf("offload must use one volume, got %d", s.NumVolumes())
+	}
+	h := strategy.VolumeHeight(env.Model, s.Boundaries, 0)
+	// Xavier is index 2.
+	if r := strategy.CutRange(s.Splits[0], h, 2); r.Len() != h {
+		t.Errorf("offload did not pick Xavier: %v", s.Splits[0])
+	}
+}
+
+func TestLayerByLayerMethodsUsePerLayerVolumes(t *testing.T) {
+	env := testEnv(100, device.Nano, device.Xavier)
+	for _, m := range []Method{CoEdge, MoDNN, MeDNN} {
+		s, err := Plan(m, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumVolumes() != env.Model.NumSplittable() {
+			t.Errorf("%s: %d volumes, want %d", m, s.NumVolumes(), env.Model.NumSplittable())
+		}
+	}
+}
+
+func TestFusedMethodsUseFewVolumes(t *testing.T) {
+	env := testEnv(100, device.Nano, device.Xavier)
+	dt, _ := Plan(DeepThings, env)
+	if dt.NumVolumes() != 1 {
+		t.Errorf("DeepThings: %d volumes, want 1", dt.NumVolumes())
+	}
+	dpt, _ := Plan(DeeperThings, env)
+	if dpt.NumVolumes() <= 1 || dpt.NumVolumes() >= env.Model.NumSplittable() {
+		t.Errorf("DeeperThings: %d volumes, want a few", dpt.NumVolumes())
+	}
+	aofl, _ := Plan(AOFL, env)
+	if aofl.NumVolumes() > dpt.NumVolumes() {
+		t.Errorf("AOFL chose more volumes (%d) than the pool partition (%d)", aofl.NumVolumes(), dpt.NumVolumes())
+	}
+}
+
+func TestEqualSplitIsEqual(t *testing.T) {
+	env := testEnv(100, device.Nano, device.Xavier, device.TX2)
+	s, _ := Plan(DeepThings, env)
+	h := strategy.VolumeHeight(env.Model, s.Boundaries, 0)
+	for i := 0; i < 3; i++ {
+		l := strategy.CutRange(s.Splits[0], h, i).Len()
+		if l < h/3-1 || l > h/3+1 {
+			t.Errorf("DeepThings part %d has %d rows of %d", i, l, h)
+		}
+	}
+}
+
+func TestProportionalMethodsFavourFastDevices(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.Pi3)
+	for _, m := range []Method{MoDNN, MeDNN} {
+		s, err := Plan(m, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// On the first conv layer, Xavier must receive far more rows.
+		h := strategy.VolumeHeight(env.Model, s.Boundaries, 0)
+		xa := strategy.CutRange(s.Splits[0], h, 0).Len()
+		pi := strategy.CutRange(s.Splits[0], h, 1).Len()
+		if xa <= 10*pi {
+			t.Errorf("%s: Xavier %d rows vs Pi3 %d rows — not capability-proportional", m, xa, pi)
+		}
+	}
+	// CoEdge's weights include the (shared) bandwidth term, so the contrast
+	// shows on a compute-heavy deep layer rather than the bandwidth-bound
+	// first layer: conv5_1 is volume index 14 in layer-by-layer VGG-16.
+	co, err := Plan(CoEdge, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conv51 = 14
+	h := strategy.VolumeHeight(env.Model, co.Boundaries, conv51)
+	xa := strategy.CutRange(co.Splits[conv51], h, 0).Len()
+	pi := strategy.CutRange(co.Splits[conv51], h, 1).Len()
+	if xa <= 5*pi {
+		t.Errorf("CoEdge: Xavier %d rows vs Pi3 %d rows on conv5_1", xa, pi)
+	}
+}
+
+func TestCoEdgeAccountsForBandwidth(t *testing.T) {
+	// Same device types, very different bandwidths: CoEdge must give the
+	// low-bandwidth device fewer rows; MoDNN (compute only) must not care.
+	devs := device.Fleet(device.Nano, device.Nano)
+	net := &network.Network{
+		Requester: network.DefaultLink(network.Constant(300)),
+		Providers: []network.Link{
+			network.DefaultLink(network.Constant(5)),
+			network.DefaultLink(network.Constant(300)),
+		},
+	}
+	env := &sim.Env{Model: cnn.VGG16(), Devices: device.AsModels(devs), Net: net}
+	co, _ := Plan(CoEdge, env)
+	mo, _ := Plan(MoDNN, env)
+	h := strategy.VolumeHeight(env.Model, co.Boundaries, 0)
+	coSlow := strategy.CutRange(co.Splits[0], h, 0).Len()
+	coFast := strategy.CutRange(co.Splits[0], h, 1).Len()
+	if coSlow >= coFast {
+		t.Errorf("CoEdge ignored bandwidth: slow %d, fast %d", coSlow, coFast)
+	}
+	moSlow := strategy.CutRange(mo.Splits[0], h, 0).Len()
+	moFast := strategy.CutRange(mo.Splits[0], h, 1).Len()
+	if moSlow != moFast && moSlow+1 != moFast && moSlow != moFast+1 {
+		t.Errorf("MoDNN should split equally across equal devices: %d vs %d", moSlow, moFast)
+	}
+}
+
+func TestMeDNNRefinementChangesPlan(t *testing.T) {
+	// MeDNN's measured rebalancing must actually alter MoDNN's allocation
+	// on a nonlinear fleet. (It is not guaranteed to *help*: proportional
+	// rebalancing against a staircase latency can misfire — exactly the
+	// linearity trap the paper describes — so we only require a valid,
+	// different plan in the same performance regime.)
+	env := testEnv(300, device.Xavier, device.Nano, device.Nano, device.Nano)
+	mo, _ := Plan(MoDNN, env)
+	me, _ := Plan(MeDNN, env)
+	same := true
+	for v := range mo.Splits {
+		for j := range mo.Splits[v] {
+			if mo.Splits[v][j] != me.Splits[v][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("MeDNN refinement did not change MoDNN's plan")
+	}
+	latMo, _, err := env.Latency(mo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latMe, _, err := env.Latency(me, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latMe > 3*latMo || latMo > 3*latMe {
+		t.Errorf("MeDNN (%.4gs) and MoDNN (%.4gs) in wildly different regimes", latMe, latMo)
+	}
+}
+
+func TestAOFLBeatsLayerByLayerOnSlowNetwork(t *testing.T) {
+	// At 50 Mbps, fusing must beat layer-by-layer splitting (the paper's
+	// Fig. 15 story).
+	env := testEnv(50, device.Xavier, device.Xavier, device.Nano, device.Nano)
+	aofl, _ := Plan(AOFL, env)
+	co, _ := Plan(CoEdge, env)
+	latA, _, err := env.Latency(aofl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latC, _, err := env.Latency(co, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latA >= latC {
+		t.Errorf("AOFL %.4gs not faster than CoEdge %.4gs", latA, latC)
+	}
+}
+
+func TestPlanOnAllZooModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo sweep in short mode")
+	}
+	for name, m := range cnn.Zoo() {
+		devs := device.Fleet(device.Xavier, device.Xavier, device.Nano, device.Nano)
+		net := &network.Network{Requester: network.DefaultLink(network.Constant(50))}
+		for range devs {
+			net.Providers = append(net.Providers, network.DefaultLink(network.Constant(50)))
+		}
+		env := &sim.Env{Model: m, Devices: device.AsModels(devs), Net: net}
+		for _, meth := range All() {
+			s, err := Plan(meth, env)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, meth, err)
+				continue
+			}
+			if lat, _, err := env.Latency(s, 0); err != nil || lat <= 0 {
+				t.Errorf("%s/%s: lat=%g err=%v", name, meth, lat, err)
+			}
+		}
+	}
+}

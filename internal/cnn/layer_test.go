@@ -1,0 +1,124 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvOutputDims(t *testing.T) {
+	tests := []struct {
+		name           string
+		l              Layer
+		wantW, wantH   int
+		wantOutBytes   float64
+		wantOpsPerting float64 // ops for one output row
+	}{
+		{
+			name:  "vgg conv1_1",
+			l:     Layer{Kind: Conv, Win: 224, Hin: 224, Cin: 3, Cout: 64, F: 3, S: 1, P: 1},
+			wantW: 224, wantH: 224,
+			wantOutBytes:   224 * 224 * 64 * 2,
+			wantOpsPerting: 2 * 3 * 3 * 3 * 64 * 224,
+		},
+		{
+			name:  "stride2 7x7",
+			l:     Layer{Kind: Conv, Win: 224, Hin: 224, Cin: 3, Cout: 64, F: 7, S: 2, P: 3},
+			wantW: 112, wantH: 112,
+			wantOutBytes:   112 * 112 * 64 * 2,
+			wantOpsPerting: 2 * 7 * 7 * 3 * 64 * 112,
+		},
+		{
+			name:  "1x1",
+			l:     Layer{Kind: Conv, Win: 14, Hin: 14, Cin: 1024, Cout: 256, F: 1, S: 1, P: 0},
+			wantW: 14, wantH: 14,
+			wantOutBytes:   14 * 14 * 256 * 2,
+			wantOpsPerting: 2 * 1024 * 256 * 14,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.OutWidth(); got != tt.wantW {
+				t.Errorf("OutWidth = %d, want %d", got, tt.wantW)
+			}
+			if got := tt.l.OutHeight(); got != tt.wantH {
+				t.Errorf("OutHeight = %d, want %d", got, tt.wantH)
+			}
+			if got := tt.l.OutputBytes(); got != tt.wantOutBytes {
+				t.Errorf("OutputBytes = %g, want %g", got, tt.wantOutBytes)
+			}
+			if got := tt.l.OpsRows(1); got != tt.wantOpsPerting {
+				t.Errorf("OpsRows(1) = %g, want %g", got, tt.wantOpsPerting)
+			}
+		})
+	}
+}
+
+func TestMaxPoolOutputDims(t *testing.T) {
+	l := Layer{Kind: MaxPool, Win: 224, Hin: 224, Cin: 64, Cout: 64, F: 2, S: 2}
+	if l.OutWidth() != 112 || l.OutHeight() != 112 {
+		t.Fatalf("pool output = %dx%d, want 112x112", l.OutWidth(), l.OutHeight())
+	}
+	if got, want := l.Ops(), float64(2*2*64*112*112); got != want {
+		t.Errorf("Ops = %g, want %g", got, want)
+	}
+}
+
+func TestFCOps(t *testing.T) {
+	l := Layer{Kind: FC, Win: 1, Hin: 1, Cin: 4096, Cout: 1000}
+	if got, want := l.Ops(), float64(2*4096*1000); got != want {
+		t.Errorf("Ops = %g, want %g", got, want)
+	}
+	if got, want := l.OutputBytes(), float64(1000*2); got != want {
+		t.Errorf("OutputBytes = %g, want %g", got, want)
+	}
+}
+
+func TestOpsRowsNonPositive(t *testing.T) {
+	l := Layer{Kind: Conv, Win: 10, Hin: 10, Cin: 3, Cout: 8, F: 3, S: 1, P: 1}
+	if l.OpsRows(0) != 0 || l.OpsRows(-5) != 0 {
+		t.Error("OpsRows of non-positive rows must be 0")
+	}
+}
+
+func TestOpsRowsLinearInRows(t *testing.T) {
+	// Property: for spatial layers, OpsRows is linear in the row count.
+	l := Layer{Kind: Conv, Win: 56, Hin: 56, Cin: 64, Cout: 128, F: 3, S: 1, P: 1}
+	f := func(a, b uint8) bool {
+		ra, rb := int(a%64), int(b%64)
+		return math.Abs(l.OpsRows(ra)+l.OpsRows(rb)-l.OpsRows(ra+rb)) < 1e-6*l.OpsRows(ra+rb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	bad := []Layer{
+		{Kind: Conv, Win: 0, Hin: 10, Cin: 3, Cout: 8, F: 3, S: 1},
+		{Kind: Conv, Win: 10, Hin: 10, Cin: 3, Cout: 8, F: 0, S: 1},
+		{Kind: Conv, Win: 10, Hin: 10, Cin: 3, Cout: 0, F: 3, S: 1},
+		{Kind: Conv, Win: 2, Hin: 2, Cin: 3, Cout: 8, F: 5, S: 1, P: 0}, // output dims <= 0
+		{Kind: MaxPool, Win: 10, Hin: 10, Cin: 3, Cout: 5, F: 2, S: 2},  // depth change
+		{Kind: FC, Cin: 0, Cout: 10},
+		{Kind: Kind(99)},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid layer %+v", i, l)
+		}
+	}
+	good := Layer{Kind: Conv, Win: 10, Hin: 10, Cin: 3, Cout: 8, F: 3, S: 1, P: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected valid layer: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "conv" || MaxPool.String() != "maxpool" || FC.String() != "fc" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

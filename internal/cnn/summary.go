@@ -1,0 +1,88 @@
+package cnn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a per-layer table of the model: kind, output shape,
+// filter geometry, operations and activation bytes, with totals — the view
+// cmd/distredge -describe prints.
+func (m *Model) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d layers (%d splittable, %d fc), %.2f GFLOPs, input %.0f KB\n",
+		m.Name, len(m.Layers), m.NumSplittable(), len(m.FCLayers()),
+		m.TotalOps()/1e9, m.InputBytes()/1e3)
+	fmt.Fprintf(&b, "%-14s %-8s %-14s %-9s %10s %10s\n",
+		"layer", "kind", "output", "f/s/p", "MFLOPs", "out KB")
+	for _, l := range m.Layers {
+		shape := fmt.Sprintf("%dx%dx%d", l.OutWidth(), l.OutHeight(), l.OutDepth())
+		geom := fmt.Sprintf("%d/%d/%d", l.F, l.S, l.P)
+		if l.Kind == FC {
+			shape = fmt.Sprintf("%d", l.Cout)
+			geom = "-"
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %-14s %-9s %10.1f %10.1f\n",
+			l.Name, l.Kind, shape, geom, l.Ops()/1e6, l.OutputBytes()/1e3)
+	}
+	return b.String()
+}
+
+// ReceptiveField returns the receptive-field size and cumulative stride
+// (jump) of the given layer chain: how many input rows influence one output
+// row, and how far apart consecutive output rows sample the input. This is
+// the quantity behind the VSL halo: a split-part's input extends ~RF/2 rows
+// beyond its nominal share on each side.
+func ReceptiveField(layers []Layer) (size, jump int) {
+	size, jump = 1, 1
+	for _, l := range layers {
+		if !l.Splittable() {
+			break
+		}
+		size += (l.F - 1) * jump
+		jump *= l.S
+	}
+	return size, jump
+}
+
+// HaloRows returns how many extra input rows a split-part of this layer
+// chain needs beyond its proportional share (the receptive-field overhang),
+// a direct measure of the recompute cost of fusing the chain.
+func HaloRows(layers []Layer) int {
+	size, _ := ReceptiveField(layers)
+	return size - 1
+}
+
+// WeightBytes returns the parameter storage of the model in bytes
+// (FP16 weights + biases), the quantity the paper's Discussion (4) bounds
+// by 1.5 GB for state-of-the-art models.
+func (m *Model) WeightBytes() float64 {
+	var sum float64
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case Conv:
+			sum += (float64(l.F)*float64(l.F)*float64(l.Cin) + 1) * float64(l.Cout) * BytesPerElem
+		case FC:
+			sum += (float64(l.Cin) + 1) * float64(l.Cout) * BytesPerElem
+		}
+	}
+	return sum
+}
+
+// PeakActivationBytes returns the largest input+output activation pair of
+// any layer — the working-set floor for running the model whole.
+func (m *Model) PeakActivationBytes() float64 {
+	var peak float64
+	for _, l := range m.Layers {
+		if v := l.InputBytes() + l.OutputBytes(); v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// MemoryFootprintBytes returns the total memory needed to run the model on
+// one device: all weights plus the peak activation working set.
+func (m *Model) MemoryFootprintBytes() float64 {
+	return m.WeightBytes() + m.PeakActivationBytes()
+}

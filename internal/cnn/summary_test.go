@@ -1,0 +1,92 @@
+package cnn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummaryContents(t *testing.T) {
+	m := VGG16()
+	s := m.Summary()
+	for _, want := range []string{"vgg16", "conv1_1", "pool5", "fc8", "GFLOPs", "224x224x64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	if lines := strings.Count(s, "\n"); lines < len(m.Layers) {
+		t.Errorf("summary has %d lines for %d layers", lines, len(m.Layers))
+	}
+}
+
+func TestReceptiveField(t *testing.T) {
+	// Two stacked 3x3 s1 convs: RF 5, jump 1.
+	convs := VGG16().SplittableLayers()
+	size, jump := ReceptiveField(convs[:2])
+	if size != 5 || jump != 1 {
+		t.Errorf("two 3x3 convs: rf=%d jump=%d, want 5/1", size, jump)
+	}
+	// conv,conv,pool2: RF 6, jump 2.
+	size, jump = ReceptiveField(convs[:3])
+	if size != 6 || jump != 2 {
+		t.Errorf("block1: rf=%d jump=%d, want 6/2", size, jump)
+	}
+	// Whole VGG-16 conv stack: jump = 2^5 = 32 (five pools).
+	size, jump = ReceptiveField(convs)
+	if jump != 32 {
+		t.Errorf("vgg16 jump = %d, want 32", jump)
+	}
+	if size < 200 {
+		t.Errorf("vgg16 receptive field %d implausibly small", size)
+	}
+}
+
+func TestReceptiveFieldMatchesVSL(t *testing.T) {
+	// The receptive-field formula must agree with the VSL: one output row's
+	// input range on an unclamped (interior) chain spans exactly RF rows.
+	layers := VGG16().SplittableLayers()[:6] // through pool2
+	size, _ := ReceptiveField(layers)
+	mid := layers[5].OutHeight() / 2
+	in := VolumeInputRows(layers, RowRange{mid, mid + 1})
+	if in.Len() != size {
+		t.Errorf("VSL input rows %d != receptive field %d", in.Len(), size)
+	}
+}
+
+func TestHaloRows(t *testing.T) {
+	layers := VGG16().SplittableLayers()[:2]
+	if got := HaloRows(layers); got != 4 {
+		t.Errorf("halo of two 3x3 convs = %d, want 4", got)
+	}
+}
+
+func TestWeightBytesVGG16(t *testing.T) {
+	// VGG-16 famously has ~138M parameters; FP16 ⇒ ~276 MB.
+	wb := VGG16().WeightBytes()
+	if wb < 250e6 || wb > 300e6 {
+		t.Errorf("VGG-16 weights = %.0f MB, want ~276 MB", wb/1e6)
+	}
+}
+
+func TestMemoryFootprintMatchesPaperDiscussion(t *testing.T) {
+	// Paper Discussion (4): state-of-the-art CNN models consume less than
+	// 1.5 GB, so memory is not a constraint on modern edge devices.
+	for name, m := range Zoo() {
+		fp := m.MemoryFootprintBytes()
+		if fp > 1.5e9 {
+			t.Errorf("%s footprint %.2f GB exceeds the paper's 1.5 GB bound", name, fp/1e9)
+		}
+		if fp <= 0 {
+			t.Errorf("%s footprint not positive", name)
+		}
+	}
+}
+
+func TestPeakActivationPositive(t *testing.T) {
+	m := VGG16()
+	peak := m.PeakActivationBytes()
+	// conv1_1: input 224x224x3 + output 224x224x64 at 2 bytes.
+	want := 224*224*3*2.0 + 224*224*64*2.0
+	if peak < want {
+		t.Errorf("peak activation %.0f below conv1_1's %.0f", peak, want)
+	}
+}

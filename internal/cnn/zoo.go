@@ -1,0 +1,215 @@
+package cnn
+
+// The model zoo covers every network the paper evaluates (Fig. 7-11):
+// VGG-16, ResNet-50, Inception-V3, YOLOv2, SSD-ResNet50, SSD-VGG16,
+// OpenPose and VoxelNet.
+//
+// DistrEdge treats a CNN as a sequential chain of layers (Section III-C,
+// challenge 4), so branching architectures are represented by their
+// sequential backbones: residual/inception/two-branch blocks are flattened
+// into an equivalent chain that preserves the spatial-reduction schedule,
+// channel widths, filter sizes and strides — exactly the quantities that
+// determine operation counts, data volumes and VSL geometry. Skip-add and
+// concat bookkeeping (a negligible fraction of both compute and traffic) is
+// folded away. Each constructor documents its flattening.
+
+// VGG16 returns the standard VGG-16 image-classification network
+// (Simonyan & Zisserman), 224x224x3 input. This is the paper's primary
+// workload (Fig. 5-9, 15).
+func VGG16() *Model {
+	b := NewBuilder("vgg16", 224, 224, 3).
+		Conv("conv1_1", 64, 3, 1, 1).Conv("conv1_2", 64, 3, 1, 1).Pool("pool1", 2, 2).
+		Conv("conv2_1", 128, 3, 1, 1).Conv("conv2_2", 128, 3, 1, 1).Pool("pool2", 2, 2).
+		Conv("conv3_1", 256, 3, 1, 1).Conv("conv3_2", 256, 3, 1, 1).Conv("conv3_3", 256, 3, 1, 1).Pool("pool3", 2, 2).
+		Conv("conv4_1", 512, 3, 1, 1).Conv("conv4_2", 512, 3, 1, 1).Conv("conv4_3", 512, 3, 1, 1).Pool("pool4", 2, 2).
+		Conv("conv5_1", 512, 3, 1, 1).Conv("conv5_2", 512, 3, 1, 1).Conv("conv5_3", 512, 3, 1, 1).Pool("pool5", 2, 2).
+		FC("fc6", 4096).FC("fc7", 4096).FC("fc8", 1000)
+	return b.MustBuild()
+}
+
+// resnetStage appends n bottleneck blocks (1x1 mid, 3x3 mid, 1x1 out) to the
+// builder, with the first block's 3x3 using the given stride. Residual adds
+// are folded into the chain (see package comment).
+func resnetStage(b *Builder, name string, n, mid, out, firstStride int) *Builder {
+	for i := 0; i < n; i++ {
+		s := 1
+		if i == 0 {
+			s = firstStride
+		}
+		b = b.Conv(name+"a", mid, 1, 1, 0).
+			Conv(name+"b", mid, 3, s, 1).
+			Conv(name+"c", out, 1, 1, 0)
+	}
+	return b
+}
+
+// ResNet50 returns ResNet-50 (He et al.), 224x224x3 input, with bottleneck
+// blocks flattened into a sequential chain.
+func ResNet50() *Model {
+	b := NewBuilder("resnet50", 224, 224, 3).
+		Conv("conv1", 64, 7, 2, 3).
+		PoolP("pool1", 3, 2, 1)
+	b = resnetStage(b, "res2", 3, 64, 256, 1)
+	b = resnetStage(b, "res3", 4, 128, 512, 2)
+	b = resnetStage(b, "res4", 6, 256, 1024, 2)
+	b = resnetStage(b, "res5", 3, 512, 2048, 2)
+	return b.FC("fc1000", 1000).MustBuild()
+}
+
+// InceptionV3 returns Inception-V3 (Szegedy et al.), 299x299x3 input.
+// Inception modules are flattened into 3x3 blocks with the module's total
+// output width at each grid size (35x35, 17x17, 8x8), preserving the stem
+// and the two grid reductions.
+func InceptionV3() *Model {
+	b := NewBuilder("inceptionv3", 299, 299, 3).
+		Conv("stem_conv1", 32, 3, 2, 0).
+		Conv("stem_conv2", 32, 3, 1, 0).
+		Conv("stem_conv3", 64, 3, 1, 1).
+		Pool("stem_pool1", 3, 2).
+		Conv("stem_conv4", 80, 1, 1, 0).
+		Conv("stem_conv5", 192, 3, 1, 0).
+		Pool("stem_pool2", 3, 2).
+		// Three 35x35 inception-A modules.
+		Conv("mixed_a1", 256, 3, 1, 1).
+		Conv("mixed_a2", 288, 3, 1, 1).
+		Conv("mixed_a3", 288, 3, 1, 1).
+		// Grid reduction to 17x17.
+		Conv("reduce_a", 768, 3, 2, 0).
+		// Four 17x17 inception-B modules.
+		Conv("mixed_b1", 768, 3, 1, 1).
+		Conv("mixed_b2", 768, 3, 1, 1).
+		Conv("mixed_b3", 768, 3, 1, 1).
+		Conv("mixed_b4", 768, 3, 1, 1).
+		// Grid reduction to 8x8.
+		Conv("reduce_b", 1280, 3, 2, 0).
+		// Two 8x8 inception-C modules.
+		Conv("mixed_c1", 2048, 3, 1, 1).
+		Conv("mixed_c2", 2048, 3, 1, 1).
+		FC("fc1000", 1000)
+	return b.MustBuild()
+}
+
+// YOLOv2 returns YOLOv2 (Redmon & Farhadi), 416x416x3 input: the Darknet-19
+// backbone plus the detection head. The passthrough (reorg) connection is
+// folded into the chain.
+func YOLOv2() *Model {
+	b := NewBuilder("yolov2", 416, 416, 3).
+		Conv("conv1", 32, 3, 1, 1).Pool("pool1", 2, 2).
+		Conv("conv2", 64, 3, 1, 1).Pool("pool2", 2, 2).
+		Conv("conv3", 128, 3, 1, 1).Conv("conv4", 64, 1, 1, 0).Conv("conv5", 128, 3, 1, 1).Pool("pool3", 2, 2).
+		Conv("conv6", 256, 3, 1, 1).Conv("conv7", 128, 1, 1, 0).Conv("conv8", 256, 3, 1, 1).Pool("pool4", 2, 2).
+		Conv("conv9", 512, 3, 1, 1).Conv("conv10", 256, 1, 1, 0).Conv("conv11", 512, 3, 1, 1).
+		Conv("conv12", 256, 1, 1, 0).Conv("conv13", 512, 3, 1, 1).Pool("pool5", 2, 2).
+		Conv("conv14", 1024, 3, 1, 1).Conv("conv15", 512, 1, 1, 0).Conv("conv16", 1024, 3, 1, 1).
+		Conv("conv17", 512, 1, 1, 0).Conv("conv18", 1024, 3, 1, 1).
+		Conv("conv19", 1024, 3, 1, 1).Conv("conv20", 1024, 3, 1, 1).
+		Conv("detect", 425, 1, 1, 0)
+	return b.MustBuild()
+}
+
+// SSDVGG16 returns SSD300 with the VGG-16 backbone (Liu et al.), 300x300x3
+// input: VGG conv1-conv5 plus the SSD extra feature layers conv6-conv11.
+// The six detection heads (small 3x3 convs on intermediate maps) are folded
+// into the chain; the dilated conv6 is modelled as a dense 3x3.
+func SSDVGG16() *Model {
+	b := NewBuilder("ssd-vgg16", 300, 300, 3).
+		Conv("conv1_1", 64, 3, 1, 1).Conv("conv1_2", 64, 3, 1, 1).Pool("pool1", 2, 2).
+		Conv("conv2_1", 128, 3, 1, 1).Conv("conv2_2", 128, 3, 1, 1).Pool("pool2", 2, 2).
+		Conv("conv3_1", 256, 3, 1, 1).Conv("conv3_2", 256, 3, 1, 1).Conv("conv3_3", 256, 3, 1, 1).Pool("pool3", 2, 2).
+		Conv("conv4_1", 512, 3, 1, 1).Conv("conv4_2", 512, 3, 1, 1).Conv("conv4_3", 512, 3, 1, 1).Pool("pool4", 2, 2).
+		Conv("conv5_1", 512, 3, 1, 1).Conv("conv5_2", 512, 3, 1, 1).Conv("conv5_3", 512, 3, 1, 1).PoolP("pool5", 3, 1, 1).
+		Conv("conv6", 1024, 3, 1, 1).
+		Conv("conv7", 1024, 1, 1, 0).
+		Conv("conv8_1", 256, 1, 1, 0).Conv("conv8_2", 512, 3, 2, 1).
+		Conv("conv9_1", 128, 1, 1, 0).Conv("conv9_2", 256, 3, 2, 1).
+		Conv("conv10_1", 128, 1, 1, 0).Conv("conv10_2", 256, 3, 1, 0).
+		Conv("conv11_1", 128, 1, 1, 0).Conv("conv11_2", 256, 3, 1, 0)
+	return b.MustBuild()
+}
+
+// SSDResNet50 returns SSD300 with a ResNet-50 backbone (through res4) plus
+// the SSD extra feature layers, 300x300x3 input.
+func SSDResNet50() *Model {
+	b := NewBuilder("ssd-resnet50", 300, 300, 3).
+		Conv("conv1", 64, 7, 2, 3).
+		PoolP("pool1", 3, 2, 1)
+	b = resnetStage(b, "res2", 3, 64, 256, 1)
+	b = resnetStage(b, "res3", 4, 128, 512, 2)
+	b = resnetStage(b, "res4", 6, 256, 1024, 2)
+	b = b.
+		Conv("extra1_1", 256, 1, 1, 0).Conv("extra1_2", 512, 3, 2, 1).
+		Conv("extra2_1", 128, 1, 1, 0).Conv("extra2_2", 256, 3, 2, 1).
+		Conv("extra3_1", 128, 1, 1, 0).Conv("extra3_2", 256, 3, 2, 1).
+		Conv("extra4_1", 128, 1, 1, 0).Conv("extra4_2", 256, 3, 1, 0)
+	return b.MustBuild()
+}
+
+// OpenPose returns the OpenPose pose-estimation network (Cao et al.),
+// 368x368x3 input: the VGG-19 feature front-end followed by six refinement
+// stages. The two branches (PAFs: 38 channels, confidence maps: 19 channels)
+// are flattened into a single 57-channel chain per stage.
+func OpenPose() *Model {
+	b := NewBuilder("openpose", 368, 368, 3).
+		Conv("conv1_1", 64, 3, 1, 1).Conv("conv1_2", 64, 3, 1, 1).Pool("pool1", 2, 2).
+		Conv("conv2_1", 128, 3, 1, 1).Conv("conv2_2", 128, 3, 1, 1).Pool("pool2", 2, 2).
+		Conv("conv3_1", 256, 3, 1, 1).Conv("conv3_2", 256, 3, 1, 1).
+		Conv("conv3_3", 256, 3, 1, 1).Conv("conv3_4", 256, 3, 1, 1).Pool("pool3", 2, 2).
+		Conv("conv4_1", 512, 3, 1, 1).Conv("conv4_2", 512, 3, 1, 1).
+		Conv("conv4_3_cpm", 256, 3, 1, 1).Conv("conv4_4_cpm", 128, 3, 1, 1).
+		// Stage 1: 3x3 convs then 1x1 heads.
+		Conv("s1_conv1", 128, 3, 1, 1).Conv("s1_conv2", 128, 3, 1, 1).Conv("s1_conv3", 128, 3, 1, 1).
+		Conv("s1_conv4", 512, 1, 1, 0).Conv("s1_out", 57, 1, 1, 0)
+	// Stages 2-6: five 7x7 convs then 1x1 heads.
+	for st := 2; st <= 6; st++ {
+		prefix := "s" + string(rune('0'+st)) + "_"
+		for i := 1; i <= 5; i++ {
+			b = b.Conv(prefix+"conv"+string(rune('0'+i)), 128, 7, 1, 3)
+		}
+		b = b.Conv(prefix+"conv6", 128, 1, 1, 0).Conv(prefix+"out", 57, 1, 1, 0)
+	}
+	return b.MustBuild()
+}
+
+// VoxelNet returns the VoxelNet 3D object detector (Zhou & Tuzel) for the
+// KITTI car setting: the stacked voxel-feature-encoding layers are modelled
+// as 1x1 convs over the 352x400 birds-eye grid (7 input point features), and
+// the convolutional middle layers + region proposal network as the published
+// 2D schedule (three blocks at strides 2,2,2 with upsampled heads folded in).
+func VoxelNet() *Model {
+	b := NewBuilder("voxelnet", 352, 400, 7).
+		Conv("vfe1", 32, 1, 1, 0).
+		Conv("vfe2", 128, 1, 1, 0).
+		// RPN block 1: stride 2 then 3 convs at 200x176.
+		Conv("rpn1_1", 128, 3, 2, 1).
+		Conv("rpn1_2", 128, 3, 1, 1).Conv("rpn1_3", 128, 3, 1, 1).Conv("rpn1_4", 128, 3, 1, 1).
+		// RPN block 2: stride 2 then 5 convs at 100x88.
+		Conv("rpn2_1", 128, 3, 2, 1).
+		Conv("rpn2_2", 128, 3, 1, 1).Conv("rpn2_3", 128, 3, 1, 1).
+		Conv("rpn2_4", 128, 3, 1, 1).Conv("rpn2_5", 128, 3, 1, 1).Conv("rpn2_6", 128, 3, 1, 1).
+		// RPN block 3: stride 2 then 5 convs at 50x44.
+		Conv("rpn3_1", 256, 3, 2, 1).
+		Conv("rpn3_2", 256, 3, 1, 1).Conv("rpn3_3", 256, 3, 1, 1).
+		Conv("rpn3_4", 256, 3, 1, 1).Conv("rpn3_5", 256, 3, 1, 1).Conv("rpn3_6", 256, 3, 1, 1).
+		// Detection heads: score + regression maps.
+		Conv("head", 14, 1, 1, 0)
+	return b.MustBuild()
+}
+
+// Zoo returns every model in the zoo keyed by name.
+func Zoo() map[string]*Model {
+	models := []*Model{
+		VGG16(), ResNet50(), InceptionV3(), YOLOv2(),
+		SSDResNet50(), SSDVGG16(), OpenPose(), VoxelNet(),
+	}
+	out := make(map[string]*Model, len(models))
+	for _, m := range models {
+		out[m.Name] = m
+	}
+	return out
+}
+
+// ZooNames returns the zoo model names in the order the paper's Fig. 10/11
+// present them (after VGG-16).
+func ZooNames() []string {
+	return []string{"vgg16", "resnet50", "inceptionv3", "yolov2", "ssd-resnet50", "ssd-vgg16", "openpose", "voxelnet"}
+}

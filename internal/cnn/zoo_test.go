@@ -1,0 +1,129 @@
+package cnn
+
+import "testing"
+
+func TestZooModelsValidate(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 8 {
+		t.Fatalf("zoo has %d models, want 8", len(zoo))
+	}
+	for name, m := range zoo {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.NumSplittable() < 5 {
+			t.Errorf("%s: only %d splittable layers", name, m.NumSplittable())
+		}
+	}
+}
+
+func TestZooNamesComplete(t *testing.T) {
+	zoo := Zoo()
+	names := ZooNames()
+	if len(names) != len(zoo) {
+		t.Fatalf("ZooNames has %d entries, zoo has %d", len(names), len(zoo))
+	}
+	for _, n := range names {
+		if _, ok := zoo[n]; !ok {
+			t.Errorf("ZooNames lists %q which is not in the zoo", n)
+		}
+	}
+}
+
+func TestVGG16Shape(t *testing.T) {
+	m := VGG16()
+	conv := m.SplittableLayers()
+	if len(conv) != 18 { // 13 conv + 5 pool
+		t.Fatalf("VGG16 splittable layers = %d, want 18", len(conv))
+	}
+	last := conv[len(conv)-1]
+	if last.OutWidth() != 7 || last.OutHeight() != 7 || last.OutDepth() != 512 {
+		t.Errorf("VGG16 final feature map = %dx%dx%d, want 7x7x512",
+			last.OutWidth(), last.OutHeight(), last.OutDepth())
+	}
+	if len(m.FCLayers()) != 3 {
+		t.Errorf("VGG16 FC layers = %d, want 3", len(m.FCLayers()))
+	}
+}
+
+func TestResNet50Shape(t *testing.T) {
+	m := ResNet50()
+	conv := m.SplittableLayers()
+	last := conv[len(conv)-1]
+	if last.OutWidth() != 7 || last.OutHeight() != 7 || last.OutDepth() != 2048 {
+		t.Errorf("ResNet50 final feature map = %dx%dx%d, want 7x7x2048",
+			last.OutWidth(), last.OutHeight(), last.OutDepth())
+	}
+	// 1 conv + 1 pool + 3*(3)+4*3+6*3+3*3 bottleneck convs = 50 layers total
+	// in the chain (the canonical "50" counts conv+fc; ours: 1+48 convs+pool).
+	if got := len(conv); got != 2+3*16 {
+		t.Errorf("ResNet50 splittable layers = %d, want %d", got, 2+3*16)
+	}
+}
+
+func TestInceptionV3Shape(t *testing.T) {
+	m := InceptionV3()
+	conv := m.SplittableLayers()
+	last := conv[len(conv)-1]
+	if last.OutWidth() != 8 || last.OutHeight() != 8 || last.OutDepth() != 2048 {
+		t.Errorf("InceptionV3 final map = %dx%dx%d, want 8x8x2048",
+			last.OutWidth(), last.OutHeight(), last.OutDepth())
+	}
+}
+
+func TestYOLOv2Shape(t *testing.T) {
+	m := YOLOv2()
+	conv := m.SplittableLayers()
+	last := conv[len(conv)-1]
+	if last.OutWidth() != 13 || last.OutHeight() != 13 || last.OutDepth() != 425 {
+		t.Errorf("YOLOv2 final map = %dx%dx%d, want 13x13x425",
+			last.OutWidth(), last.OutHeight(), last.OutDepth())
+	}
+	if len(m.FCLayers()) != 0 {
+		t.Error("YOLOv2 must be fully convolutional")
+	}
+}
+
+func TestSSDShapes(t *testing.T) {
+	for _, m := range []*Model{SSDVGG16(), SSDResNet50()} {
+		conv := m.SplittableLayers()
+		last := conv[len(conv)-1]
+		if last.OutHeight() < 1 || last.OutHeight() > 3 {
+			t.Errorf("%s final map height = %d, want 1-3", m.Name, last.OutHeight())
+		}
+	}
+}
+
+func TestOpenPoseShape(t *testing.T) {
+	m := OpenPose()
+	conv := m.SplittableLayers()
+	last := conv[len(conv)-1]
+	if last.OutWidth() != 46 || last.OutHeight() != 46 || last.OutDepth() != 57 {
+		t.Errorf("OpenPose final map = %dx%dx%d, want 46x46x57",
+			last.OutWidth(), last.OutHeight(), last.OutDepth())
+	}
+}
+
+func TestVoxelNetShape(t *testing.T) {
+	m := VoxelNet()
+	conv := m.SplittableLayers()
+	last := conv[len(conv)-1]
+	if last.OutHeight() != 50 || last.OutDepth() != 14 {
+		t.Errorf("VoxelNet final map height/depth = %d/%d, want 50/14",
+			last.OutHeight(), last.OutDepth())
+	}
+}
+
+func TestZooOpsOrdering(t *testing.T) {
+	// Sanity: all models should have nontrivial compute (> 1 GFLOP) and the
+	// heavy detectors should exceed the classifiers.
+	zoo := Zoo()
+	for name, m := range zoo {
+		if m.TotalOps() < 1e9 {
+			t.Errorf("%s: ops %.3g implausibly small", name, m.TotalOps())
+		}
+	}
+	if zoo["voxelnet"].TotalOps() < zoo["resnet50"].TotalOps() {
+		t.Error("VoxelNet should out-compute ResNet50")
+	}
+}

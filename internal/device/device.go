@@ -1,0 +1,177 @@
+// Package device models edge computing devices and their (nonlinear)
+// compute-latency characteristics.
+//
+// The paper's testbed uses Raspberry Pi3 and NVIDIA Jetson Nano/TX2/Xavier
+// boards running TensorRT FP16 kernels; those are unavailable here, so this
+// package substitutes a parametric hardware model with the property the
+// paper's argument hinges on (Section II, Fig. 14): computing latency as a
+// function of layer configuration is *nonlinear* — a staircase caused by
+// GPU wave quantisation — which breaks baselines that assume a single
+// "computing capability" scalar.
+//
+// Latency of computing `rows` output rows of a layer:
+//
+//	lat = launch + ops(ceil(rows/tile)*tile)/flops + bytes(rows)/memBW
+//
+// The ceil(rows/tile) term is the staircase: a GPU schedules work in waves
+// of `tile` rows, so partially-filled waves cost as much as full ones. CPUs
+// (Pi3) have tile=1 and are close to linear, exactly as the paper describes
+// low-end devices.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"distredge/internal/cnn"
+)
+
+// Type identifies a device model from the paper's testbed.
+type Type string
+
+// Device types used in the paper's experiments (Table I-III).
+const (
+	Pi3    Type = "pi3"
+	Nano   Type = "nano"
+	TX2    Type = "tx2"
+	Xavier Type = "xavier"
+)
+
+// Profile is the ground-truth synthetic hardware model of one device. It
+// plays the role of the physical board: everything else in the system
+// (profiler, planner, baselines) observes it only through measurements.
+type Profile struct {
+	Name string // instance name, e.g. "xavier-0"
+	Type Type
+
+	GFLOPS   float64 // effective peak throughput, operations/ns
+	Tile     int     // wave quantisation granularity in output rows
+	LaunchMS float64 // per-layer kernel launch + framework overhead, ms
+	MemGBps  float64 // effective memory bandwidth for activation traffic
+}
+
+// LatencyModel is anything that can predict the compute latency of a number
+// of output rows of a layer. Profile (ground truth) and every profile form
+// (table, linear, piecewise-linear, k-NN) implement it.
+type LatencyModel interface {
+	ComputeLatency(l cnn.Layer, rows int) float64
+}
+
+// ComputeLatency returns the seconds this device needs to compute `rows`
+// output rows of layer l. Zero or negative rows cost nothing (the device is
+// not invoked at all).
+func (p Profile) ComputeLatency(l cnn.Layer, rows int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	tile := p.Tile
+	if tile < 1 {
+		tile = 1
+	}
+	effRows := rows
+	if l.Kind != cnn.FC {
+		waves := (rows + tile - 1) / tile
+		effRows = waves * tile
+	}
+	ops := l.OpsRows(effRows)
+	if l.Kind == cnn.FC {
+		ops = l.Ops()
+	}
+	bytes := float64(rows) * (l.InRowBytes() + l.OutRowBytes())
+	if l.Kind == cnn.FC {
+		bytes = l.InputBytes() + l.OutputBytes()
+	}
+	return p.LaunchMS/1e3 + ops/(p.GFLOPS*1e9) + bytes/(p.MemGBps*1e9)
+}
+
+// VolumeLatency returns the seconds to compute the split-part of the given
+// layer-volume whose last layer produces output rows out, including all the
+// halo rows the VSL forces intermediate sub-layers to compute.
+func VolumeLatency(m LatencyModel, layers []cnn.Layer, out cnn.RowRange) float64 {
+	if out.Empty() {
+		return 0
+	}
+	ranges := cnn.VolumeRanges(layers, out)
+	var sum float64
+	for i, l := range layers {
+		sum += m.ComputeLatency(l, ranges[i].Len())
+	}
+	return sum
+}
+
+// ModelLatency returns the seconds to compute the whole model (all layers,
+// full height) on this device — what the "Offload" baseline pays per image.
+func ModelLatency(m LatencyModel, model *cnn.Model) float64 {
+	var sum float64
+	for _, l := range model.Layers {
+		if l.Kind == cnn.FC {
+			sum += m.ComputeLatency(l, 1)
+		} else {
+			sum += m.ComputeLatency(l, l.OutHeight())
+		}
+	}
+	return sum
+}
+
+// LinearCapability returns the single "operations per second" scalar a
+// linear-model baseline (CoEdge, MoDNN, MeDNN, AOFL) would measure for this
+// device by timing the full model: total ops / total latency. The whole
+// point of DistrEdge is that this scalar is a poor predictor for split
+// workloads on devices with nonlinear characters.
+func LinearCapability(m LatencyModel, model *cnn.Model) float64 {
+	lat := ModelLatency(m, model)
+	if lat <= 0 {
+		return math.Inf(1)
+	}
+	return model.TotalOps() / lat
+}
+
+// New returns the calibrated profile for a device type. The absolute scales
+// are synthetic; the *relative* ordering and nonlinearity degree follow the
+// public Jetson benchmarks the paper cites: Pi3 << Nano < TX2 < Xavier, with
+// bigger GPUs having wider waves (stronger staircases).
+func New(t Type, name string) (Profile, error) {
+	var p Profile
+	switch t {
+	case Pi3:
+		p = Profile{Type: Pi3, GFLOPS: 2.0, Tile: 1, LaunchMS: 1.2, MemGBps: 1.5}
+	case Nano:
+		p = Profile{Type: Nano, GFLOPS: 110, Tile: 8, LaunchMS: 0.40, MemGBps: 8}
+	case TX2:
+		p = Profile{Type: TX2, GFLOPS: 250, Tile: 16, LaunchMS: 0.35, MemGBps: 15}
+	case Xavier:
+		p = Profile{Type: Xavier, GFLOPS: 700, Tile: 32, LaunchMS: 0.30, MemGBps: 40}
+	default:
+		return Profile{}, fmt.Errorf("device: unknown type %q", t)
+	}
+	p.Name = name
+	return p, nil
+}
+
+// MustNew is New that panics on error, for static experiment tables.
+func MustNew(t Type, name string) Profile {
+	p, err := New(t, name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Fleet builds n devices of the given types (cycled) with indexed names.
+func Fleet(types ...Type) []Profile {
+	out := make([]Profile, len(types))
+	for i, t := range types {
+		out[i] = MustNew(t, fmt.Sprintf("%s-%d", t, i))
+	}
+	return out
+}
+
+// AsModels converts concrete device profiles to the LatencyModel interface
+// (e.g. for sim.Env construction).
+func AsModels(profiles []Profile) []LatencyModel {
+	out := make([]LatencyModel, len(profiles))
+	for i, p := range profiles {
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distredge/internal/cnn"
+)
+
+func testLayer() cnn.Layer {
+	return cnn.Layer{Kind: cnn.Conv, Win: 112, Hin: 112, Cin: 64, Cout: 128, F: 3, S: 1, P: 1}
+}
+
+func TestNewKnownTypes(t *testing.T) {
+	for _, typ := range []Type{Pi3, Nano, TX2, Xavier} {
+		p, err := New(typ, string(typ)+"-0")
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		if p.GFLOPS <= 0 || p.Tile < 1 {
+			t.Errorf("%s: implausible profile %+v", typ, p)
+		}
+	}
+	if _, err := New(Type("tpu"), "x"); err == nil {
+		t.Error("unknown type must error")
+	}
+}
+
+func TestCapabilityOrdering(t *testing.T) {
+	// The paper orders capability Pi3 << Nano < TX2 < Xavier.
+	m := cnn.VGG16()
+	pi := MustNew(Pi3, "pi")
+	na := MustNew(Nano, "na")
+	tx := MustNew(TX2, "tx")
+	xa := MustNew(Xavier, "xa")
+	cp := LinearCapability(pi, m)
+	cn := LinearCapability(na, m)
+	ct := LinearCapability(tx, m)
+	cx := LinearCapability(xa, m)
+	if !(cp < cn && cn < ct && ct < cx) {
+		t.Fatalf("capability ordering violated: pi=%.3g nano=%.3g tx2=%.3g xavier=%.3g", cp, cn, ct, cx)
+	}
+	if cn < 10*cp {
+		t.Errorf("Nano should be >>10x Pi3 (got %.1fx)", cn/cp)
+	}
+}
+
+func TestComputeLatencyStaircase(t *testing.T) {
+	// Within one tile the latency must be flat; across a tile boundary it
+	// must jump. This is the nonlinear character of Fig. 14.
+	p := MustNew(Xavier, "xa")
+	l := testLayer()
+	inTile := p.ComputeLatency(l, 1)
+	for r := 2; r <= p.Tile; r++ {
+		lat := p.ComputeLatency(l, r)
+		// Compute term is identical; only the (small) memory term grows.
+		if lat < inTile {
+			t.Fatalf("latency decreased within tile: rows=%d", r)
+		}
+	}
+	atBoundary := p.ComputeLatency(l, p.Tile)
+	pastBoundary := p.ComputeLatency(l, p.Tile+1)
+	if pastBoundary <= atBoundary*1.05 {
+		t.Errorf("no staircase jump at tile boundary: %g -> %g", atBoundary, pastBoundary)
+	}
+}
+
+func TestComputeLatencyLinearOnCPU(t *testing.T) {
+	// Pi3 has tile=1: latency minus the fixed launch must be (almost
+	// exactly) proportional to rows.
+	p := MustNew(Pi3, "pi")
+	l := testLayer()
+	base := p.LaunchMS / 1e3
+	l10 := p.ComputeLatency(l, 10) - base
+	l20 := p.ComputeLatency(l, 20) - base
+	ratio := l20 / l10
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("Pi3 latency not linear: ratio %g, want 2", ratio)
+	}
+}
+
+func TestComputeLatencyZeroRows(t *testing.T) {
+	p := MustNew(Nano, "na")
+	if p.ComputeLatency(testLayer(), 0) != 0 || p.ComputeLatency(testLayer(), -3) != 0 {
+		t.Error("zero/negative rows must cost 0")
+	}
+}
+
+func TestComputeLatencyMonotone(t *testing.T) {
+	// Property: more rows never cost less, on any device.
+	for _, typ := range []Type{Pi3, Nano, TX2, Xavier} {
+		p := MustNew(typ, "d")
+		l := testLayer()
+		f := func(a, b uint8) bool {
+			ra, rb := int(a)%112+1, int(b)%112+1
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			return p.ComputeLatency(l, ra) <= p.ComputeLatency(l, rb)+1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", typ, err)
+		}
+	}
+}
+
+func TestVolumeLatency(t *testing.T) {
+	p := MustNew(Nano, "na")
+	layers := cnn.VGG16().SplittableLayers()[:3]
+	h := layers[2].OutHeight()
+	full := VolumeLatency(p, layers, cnn.RowRange{Lo: 0, Hi: h})
+	if full <= 0 {
+		t.Fatal("full volume latency must be positive")
+	}
+	if VolumeLatency(p, layers, cnn.RowRange{Lo: 5, Hi: 5}) != 0 {
+		t.Error("empty part must cost 0")
+	}
+	half := VolumeLatency(p, layers, cnn.RowRange{Lo: 0, Hi: h / 2})
+	if half >= full {
+		t.Error("half the rows should cost less than all rows")
+	}
+}
+
+func TestModelLatencyAndOffloadOrdering(t *testing.T) {
+	m := cnn.VGG16()
+	lx := ModelLatency(MustNew(Xavier, "xa"), m)
+	ln := ModelLatency(MustNew(Nano, "na"), m)
+	lp := ModelLatency(MustNew(Pi3, "pi"), m)
+	if !(lx < ln && ln < lp) {
+		t.Fatalf("model latency ordering violated: xavier=%.3g nano=%.3g pi=%.3g", lx, ln, lp)
+	}
+	// Xavier should run VGG-16 in tens of milliseconds (paper-scale IPS);
+	// Pi3 in seconds.
+	if lx < 0.02 || lx > 0.3 {
+		t.Errorf("Xavier VGG-16 latency %.3gs out of expected range", lx)
+	}
+	if lp < 2 {
+		t.Errorf("Pi3 VGG-16 latency %.3gs implausibly fast", lp)
+	}
+}
+
+func TestFleet(t *testing.T) {
+	f := Fleet(Xavier, Xavier, Nano, Nano)
+	if len(f) != 4 {
+		t.Fatalf("fleet size %d, want 4", len(f))
+	}
+	if f[0].Name == f[1].Name {
+		t.Error("fleet names must be unique")
+	}
+	if f[2].Type != Nano {
+		t.Error("fleet types must follow the argument order")
+	}
+}

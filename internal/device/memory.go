@@ -1,0 +1,46 @@
+package device
+
+import (
+	"fmt"
+
+	"distredge/internal/cnn"
+)
+
+// MemoryGB returns the device's RAM in gigabytes. These follow the boards
+// the paper uses: Pi3 1 GB, Nano 4 GB, TX2 8 GB, Xavier 32 GB — the basis
+// for the paper's Discussion (4) claim that memory is not a constraint.
+func (p Profile) MemoryGB() float64 {
+	switch p.Type {
+	case Pi3:
+		return 1
+	case Nano:
+		return 4
+	case TX2:
+		return 8
+	case Xavier:
+		return 32
+	default:
+		return 0
+	}
+}
+
+// FitsInMemory reports whether the whole model (weights + peak activation
+// working set) fits on the device with the given headroom fraction reserved
+// for the OS and runtime (e.g. 0.5 = use at most half the RAM).
+func (p Profile) FitsInMemory(m *cnn.Model, headroom float64) bool {
+	usable := p.MemoryGB() * 1e9 * (1 - headroom)
+	return m.MemoryFootprintBytes() <= usable
+}
+
+// CheckFleetMemory verifies the paper's Discussion (4) premise for a fleet:
+// every device can hold the entire model. It returns an error naming the
+// first device that cannot.
+func CheckFleetMemory(devs []Profile, m *cnn.Model, headroom float64) error {
+	for _, d := range devs {
+		if !d.FitsInMemory(m, headroom) {
+			return fmt.Errorf("device: %s (%s, %.0f GB) cannot hold %s (%.2f GB footprint)",
+				d.Name, d.Type, d.MemoryGB(), m.Name, m.MemoryFootprintBytes()/1e9)
+		}
+	}
+	return nil
+}

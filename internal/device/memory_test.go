@@ -1,0 +1,49 @@
+package device
+
+import (
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+func TestMemoryGBOrdering(t *testing.T) {
+	pi := MustNew(Pi3, "pi").MemoryGB()
+	na := MustNew(Nano, "na").MemoryGB()
+	tx := MustNew(TX2, "tx").MemoryGB()
+	xa := MustNew(Xavier, "xa").MemoryGB()
+	if !(pi < na && na < tx && tx < xa) {
+		t.Errorf("memory ordering violated: %g %g %g %g", pi, na, tx, xa)
+	}
+	if (Profile{Type: Type("alien")}).MemoryGB() != 0 {
+		t.Error("unknown type must report 0")
+	}
+}
+
+func TestPaperDiscussion4Holds(t *testing.T) {
+	// Paper Discussion (4): "even running a whole CNN model on one edge
+	// device does not suffer from memory limitation" — for the Jetson
+	// boards. (The 1 GB Pi3 is the stated exception in spirit: it cannot
+	// take VGG-16 with only half its RAM usable.)
+	for name, m := range cnn.Zoo() {
+		for _, typ := range []Type{Nano, TX2, Xavier} {
+			d := MustNew(typ, string(typ))
+			if !d.FitsInMemory(m, 0.5) {
+				t.Errorf("%s does not fit on %s with 50%% headroom", name, typ)
+			}
+		}
+	}
+}
+
+func TestCheckFleetMemory(t *testing.T) {
+	m := cnn.VGG16()
+	good := Fleet(Nano, TX2, Xavier)
+	if err := CheckFleetMemory(good, m, 0.5); err != nil {
+		t.Errorf("Jetson fleet should fit VGG-16: %v", err)
+	}
+	// Pi3 with 1 GB and 80% headroom (200 MB usable) cannot hold VGG-16's
+	// ~290 MB footprint.
+	bad := Fleet(Pi3)
+	if err := CheckFleetMemory(bad, m, 0.8); err == nil {
+		t.Error("expected Pi3 memory check to fail")
+	}
+}

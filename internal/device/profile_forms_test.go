@@ -1,0 +1,189 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+func measuredCurves(t *testing.T) (Profile, []Curve) {
+	t.Helper()
+	dev := MustNew(Nano, "na")
+	pr := Profiler{Repeats: 20, Noise: 0.02, Seed: 42}
+	curves := pr.Measure(dev, cnn.VGG16())
+	if len(curves) != 18 {
+		t.Fatalf("measured %d curves, want 18", len(curves))
+	}
+	return dev, curves
+}
+
+func TestProfilerMeasureAccuracy(t *testing.T) {
+	dev, curves := measuredCurves(t)
+	// Averaging 20 noisy samples should land within a few percent of truth.
+	for _, c := range curves {
+		for _, r := range []int{1, c.Layer.OutHeight() / 2, c.Layer.OutHeight()} {
+			if r < 1 {
+				continue
+			}
+			truth := dev.ComputeLatency(c.Layer, r)
+			got := c.Lat[r-1]
+			if math.Abs(got-truth) > 0.05*truth {
+				t.Fatalf("layer %s rows %d: measured %g, truth %g", c.Layer.Name, r, got, truth)
+			}
+		}
+	}
+}
+
+func TestProfilerDeterministic(t *testing.T) {
+	dev := MustNew(TX2, "tx")
+	pr := Profiler{Repeats: 5, Noise: 0.05, Seed: 7}
+	a := pr.Measure(dev, cnn.VGG16())
+	b := pr.Measure(dev, cnn.VGG16())
+	for i := range a {
+		for r := range a[i].Lat {
+			if a[i].Lat[r] != b[i].Lat[r] {
+				t.Fatal("profiler must be deterministic under a fixed seed")
+			}
+		}
+	}
+}
+
+func TestTableModelLookup(t *testing.T) {
+	dev, curves := measuredCurves(t)
+	tab := NewTableModel(curves, dev)
+	l := curves[3].Layer
+	if got, want := tab.ComputeLatency(l, 10), curves[3].Lat[9]; got != want {
+		t.Errorf("table lookup = %g, want %g", got, want)
+	}
+	if tab.ComputeLatency(l, 0) != 0 {
+		t.Error("zero rows must cost 0")
+	}
+	// Beyond the measured height: clamp to the last entry.
+	h := l.OutHeight()
+	if got, want := tab.ComputeLatency(l, h+50), curves[3].Lat[h-1]; got != want {
+		t.Errorf("out-of-range lookup = %g, want clamped %g", got, want)
+	}
+	// Unknown layer: falls back to ground truth.
+	alien := cnn.Layer{Kind: cnn.Conv, Win: 999, Hin: 999, Cin: 1, Cout: 1, F: 3, S: 1, P: 1}
+	if tab.ComputeLatency(alien, 5) != dev.ComputeLatency(alien, 5) {
+		t.Error("fallback not consulted for unprofiled layer")
+	}
+	// Without fallback, unknown layers cost 0.
+	bare := NewTableModel(curves, nil)
+	if bare.ComputeLatency(alien, 5) != 0 {
+		t.Error("nil fallback should yield 0")
+	}
+}
+
+func TestLinearModelUnderestimatesStaircase(t *testing.T) {
+	// The crux of the paper: a linear fit cannot capture the staircase, so
+	// it must misestimate small-row latencies on a wavy GPU.
+	dev := MustNew(Xavier, "xa")
+	pr := Profiler{Repeats: 10, Noise: 0.01, Seed: 3}
+	curves := pr.Measure(dev, cnn.VGG16())
+	lin := FitLinear(curves)
+	if lin.SecPerOp <= 0 {
+		t.Fatal("linear fit must have positive slope")
+	}
+	l := curves[0].Layer // 224-high conv
+	truth := dev.ComputeLatency(l, 2)
+	est := lin.ComputeLatency(l, 2)
+	if est > truth {
+		t.Skipf("linear fit happened to overestimate; acceptable")
+	}
+	if truth/est < 1.5 {
+		t.Errorf("expected substantial misestimate at 2 rows: truth %g vs linear %g", truth, est)
+	}
+}
+
+func TestLinearModelZeroCurves(t *testing.T) {
+	lin := FitLinear(nil)
+	if lin.SecPerOp != 0 || lin.Fixed != 0 {
+		t.Error("empty fit must be zero model")
+	}
+}
+
+func TestPiecewiseLinearInterpolation(t *testing.T) {
+	dev, curves := measuredCurves(t)
+	pw := FitPiecewiseLinear(curves, 16, nil)
+	l := curves[0].Layer
+	h := l.OutHeight()
+	// At knots the model is exact; between knots it should be within the
+	// band of the two surrounding knots.
+	exact := pw.ComputeLatency(l, 1)
+	if exact != curves[0].Lat[0] {
+		t.Errorf("knot value mismatch: %g vs %g", exact, curves[0].Lat[0])
+	}
+	mid := pw.ComputeLatency(l, 8)
+	lo, hi := curves[0].Lat[0], curves[0].Lat[16]
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if mid < lo-1e-12 || mid > hi+1e-12 {
+		t.Errorf("interpolated value %g outside knot band [%g,%g]", mid, lo, hi)
+	}
+	if pw.ComputeLatency(l, h+10) != curves[0].Lat[h-1] {
+		t.Error("beyond last knot should clamp")
+	}
+	_ = dev
+}
+
+func TestPiecewiseLinearFallback(t *testing.T) {
+	dev := MustNew(Nano, "na")
+	pw := FitPiecewiseLinear(nil, 8, dev)
+	l := testLayer()
+	if pw.ComputeLatency(l, 5) != dev.ComputeLatency(l, 5) {
+		t.Error("fallback not consulted")
+	}
+}
+
+func TestKNNModel(t *testing.T) {
+	dev, curves := measuredCurves(t)
+	knn := FitKNN(curves, 3, 4, nil)
+	l := curves[0].Layer
+	got := knn.ComputeLatency(l, 9)
+	// Neighbours of 9 among {1,5,9,13,...} are 9,5,13 (or 9,13,5): mean of
+	// those three measured values.
+	want := (curves[0].Lat[8] + curves[0].Lat[4] + curves[0].Lat[12]) / 3
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("knn = %g, want %g", got, want)
+	}
+	if knn.ComputeLatency(l, 0) != 0 {
+		t.Error("zero rows must cost 0")
+	}
+	bare := FitKNN(nil, 3, 4, dev)
+	if bare.ComputeLatency(l, 5) != dev.ComputeLatency(l, 5) {
+		t.Error("fallback not consulted")
+	}
+}
+
+func TestProfileFormsTrackTruth(t *testing.T) {
+	// All profile forms except the linear one should approximate the truth
+	// well across the whole curve (table exactly, pw/knn within noise+step).
+	dev, curves := measuredCurves(t)
+	tab := NewTableModel(curves, nil)
+	pw := FitPiecewiseLinear(curves, 4, nil)
+	knn := FitKNN(curves, 1, 1, nil)
+	for _, c := range curves {
+		h := c.Layer.OutHeight()
+		for _, r := range []int{1, h / 3, h / 2, h} {
+			if r < 1 {
+				continue
+			}
+			truth := dev.ComputeLatency(c.Layer, r)
+			for name, m := range map[string]LatencyModel{"table": tab, "pw": pw, "knn": knn} {
+				got := m.ComputeLatency(c.Layer, r)
+				tol := 0.25 * truth
+				if name == "pw" {
+					// Interpolating a staircase across a wave boundary can
+					// overshoot by up to one wave.
+					tol = 0.6 * truth
+				}
+				if math.Abs(got-truth) > tol+1e-6 {
+					t.Errorf("%s: layer %s rows %d: %g vs truth %g", name, c.Layer.Name, r, got, truth)
+				}
+			}
+		}
+	}
+}

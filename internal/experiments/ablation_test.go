@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+func TestAblationNonlinearity(t *testing.T) {
+	// The paper's causal story: remove the staircase and the linear
+	// baselines stop losing badly. We require DistrEdge's margin over AOFL
+	// to shrink (or at least not grow) in the linearised world.
+	b := Tiny()
+	b.Episodes = 50
+	res, err := AblationNonlinearity(b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaircaseSpeedup <= 1.0 {
+		t.Errorf("DistrEdge should beat AOFL on staircase devices, got %.2fx", res.StaircaseSpeedup)
+	}
+	if res.LinearSpeedup > res.StaircaseSpeedup*1.05 {
+		t.Errorf("linearising devices should not grow the margin: staircase %.2fx vs linear %.2fx",
+			res.StaircaseSpeedup, res.LinearSpeedup)
+	}
+}
+
+func TestAblationWarmStart(t *testing.T) {
+	// At small training budgets, warm-start must not hurt (its whole point
+	// is anchoring short runs).
+	b := Tiny()
+	b.Episodes = 30
+	res, err := AblationWarmStart(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithWarmStartIPS <= 0 || res.WithoutWarmStartIPS <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.WithWarmStartIPS < res.WithoutWarmStartIPS*0.9 {
+		t.Errorf("warm start hurt: with %.2f vs without %.2f", res.WithWarmStartIPS, res.WithoutWarmStartIPS)
+	}
+}
+
+func TestAblationPartition(t *testing.T) {
+	b := Tiny()
+	rows, err := AblationPartition(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]AblationPartitionRow{}
+	for _, r := range rows {
+		if r.IPS <= 0 {
+			t.Errorf("%s: bad IPS", r.Partition)
+		}
+		byName[r.Partition] = r
+	}
+	// LC-PSS must beat the layer-by-layer partition at 50 Mbps (the
+	// transmission-dominated regime the paper highlights).
+	if byName["lc-pss"].IPS < byName["layer-by-layer"].IPS {
+		t.Errorf("lc-pss %.2f below layer-by-layer %.2f", byName["lc-pss"].IPS, byName["layer-by-layer"].IPS)
+	}
+	if byName["single-volume"].Volumes != 1 {
+		t.Error("single-volume family must have 1 volume")
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+)
+
+func TestGroupsMatchPaperTables(t *testing.T) {
+	dg := DeviceGroups()
+	if len(dg) != 3 || dg[0].Name != "DA" || dg[2].Name != "DC" {
+		t.Fatalf("Table I groups wrong: %+v", dg)
+	}
+	if dg[1].Types[0] != device.Xavier || dg[1].Types[2] != device.Nano {
+		t.Errorf("DB must be Xavier x2 + Nano x2: %v", dg[1].Types)
+	}
+	ng := NetworkGroups()
+	if len(ng) != 4 || ng[3].Name != "ND" {
+		t.Fatalf("Table II groups wrong: %+v", ng)
+	}
+	if ng[0].BandwidthsMbps[0] != 50 || ng[0].BandwidthsMbps[2] != 200 {
+		t.Errorf("NA must be 50x2+200x2: %v", ng[0].BandwidthsMbps)
+	}
+	ls := LargeScaleCases()
+	if len(ls) != 4 {
+		t.Fatalf("Table III cases wrong: %d", len(ls))
+	}
+	for _, c := range ls {
+		if len(c.Types) != 16 || len(c.BandwidthsMbps) != 16 {
+			t.Errorf("%s: want 16 devices, got %d/%d", c.Name, len(c.Types), len(c.BandwidthsMbps))
+		}
+	}
+	// LD pairs the fastest device with the fastest link.
+	ld := ls[3]
+	for i := 0; i < 16; i += 4 {
+		if ld.Types[i+3] != device.Xavier || ld.BandwidthsMbps[i+3] != 300 {
+			t.Errorf("LD quadruplet %d wrong: %v %v", i, ld.Types[i+3], ld.BandwidthsMbps[i+3])
+		}
+	}
+}
+
+func TestSpecEnv(t *testing.T) {
+	spec := DeviceGroups()[0].Spec(cnn.VGG16(), 100, 1)
+	env := spec.Env()
+	if env.NumProviders() != 4 {
+		t.Fatalf("providers = %d", env.NumProviders())
+	}
+	if env.Net.Providers[0].Trace.Mean() < 90 || env.Net.Providers[0].Trace.Mean() > 110 {
+		t.Errorf("trace mean %g, want ~100", env.Net.Providers[0].Trace.Mean())
+	}
+}
+
+func TestMethodOrder(t *testing.T) {
+	mo := MethodOrder()
+	if len(mo) != 8 || mo[6] != MethodDistrEdge || mo[7] != "Offload" {
+		t.Fatalf("method order wrong: %v", mo)
+	}
+}
+
+func TestRunCaseProducesAllMethods(t *testing.T) {
+	rows, err := RunCase(DeviceGroups()[1].Spec(cnn.VGG16(), 50, 1), Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPS <= 0 || math.IsNaN(r.IPS) {
+			t.Errorf("%s: bad IPS %g", r.Method, r.IPS)
+		}
+		if r.Volumes < 1 {
+			t.Errorf("%s: bad volume count %d", r.Method, r.Volumes)
+		}
+	}
+}
+
+func TestDistrEdgeWinsOnHeterogeneousCase(t *testing.T) {
+	// The headline claim (Fig. 7): on the highly heterogeneous Group DB,
+	// DistrEdge beats every baseline. Use a slightly larger budget than
+	// Tiny so OSDS has room to move.
+	b := Tiny()
+	b.Episodes = 60
+	rows, err := RunCase(DeviceGroups()[1].Spec(cnn.VGG16(), 50, 1), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, ok := FindRow(rows, MethodDistrEdge)
+	if !ok {
+		t.Fatal("no DistrEdge row")
+	}
+	best := BestBaselineIPS(rows)
+	if de.IPS < best {
+		for _, r := range rows {
+			t.Logf("%-14s IPS=%6.2f vols=%d", r.Method, r.IPS, r.Volumes)
+		}
+		t.Errorf("DistrEdge IPS %.2f below best baseline %.2f", de.IPS, best)
+	}
+}
+
+func TestBestBaselineAndFindRow(t *testing.T) {
+	rows := []MethodRow{
+		{Method: "AOFL", IPS: 10},
+		{Method: MethodDistrEdge, IPS: 30},
+		{Method: "Offload", IPS: 12},
+	}
+	if got := BestBaselineIPS(rows); got != 12 {
+		t.Errorf("BestBaselineIPS = %g, want 12", got)
+	}
+	if _, ok := FindRow(rows, "CoEdge"); ok {
+		t.Error("FindRow found a missing method")
+	}
+}
+
+func TestFig04And12Traces(t *testing.T) {
+	rows := Fig04StableTraces(1)
+	if len(rows) != 4 {
+		t.Fatalf("Fig04 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CoefficientVariation > 0.10 {
+			t.Errorf("stable trace %s too noisy: cv=%.3f", r.Name, r.CoefficientVariation)
+		}
+	}
+	dyn := Fig12DynamicTraces(1)
+	if len(dyn) != 4 {
+		t.Fatalf("Fig12 rows = %d", len(dyn))
+	}
+	for _, r := range dyn {
+		if r.CoefficientVariation < 0.05 {
+			t.Errorf("dynamic trace %s too flat: cv=%.3f", r.Name, r.CoefficientVariation)
+		}
+		if r.MinMbps < 19 || r.MaxMbps > 111 {
+			t.Errorf("dynamic trace %s out of band: [%g,%g]", r.Name, r.MinMbps, r.MaxMbps)
+		}
+	}
+}
+
+func TestFig14NonlinearStaircase(t *testing.T) {
+	// GPUs must show a staircase (many flat steps); the CPU must not.
+	gpu := Fig14Nonlinear(device.Xavier)
+	cpu := Fig14Nonlinear(device.Pi3)
+	if len(gpu) == 0 || gpu[0].OutputRows != 50 {
+		t.Fatalf("unexpected sweep %v", gpu[:1])
+	}
+	sGPU, sCPU := Staircaseness(gpu), Staircaseness(cpu)
+	if sGPU < 0.5 {
+		t.Errorf("Xavier staircaseness %.2f, want >= 0.5", sGPU)
+	}
+	if sCPU > 0.2 {
+		t.Errorf("Pi3 staircaseness %.2f, want ~0", sCPU)
+	}
+	// Latency must still be monotone overall.
+	for i := 1; i < len(gpu); i++ {
+		if gpu[i].LatencyMS < gpu[i-1].LatencyMS-1e-9 {
+			t.Fatal("staircase must be monotone")
+		}
+	}
+}
+
+func TestFig05AlphaSweepSmall(t *testing.T) {
+	b := Tiny()
+	rows, err := Fig05AlphaSweep(b, 1) // one case, 5 alphas
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byAlpha := map[float64]AlphaRow{}
+	for _, r := range rows {
+		byAlpha[r.Alpha] = r
+	}
+	// Partition granularity must decrease with alpha (paper Section V-C).
+	if byAlpha[0].Volumes < byAlpha[1].Volumes {
+		t.Errorf("alpha=0 volumes %d < alpha=1 volumes %d", byAlpha[0].Volumes, byAlpha[1].Volumes)
+	}
+}
+
+func TestFig15BreakdownShape(t *testing.T) {
+	rows, err := Fig15Breakdown(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, _ := FindRow(rows, "CoEdge")
+	dt, _ := FindRow(rows, "DeepThings")
+	// Layer-by-layer must be transmission-dominated relative to fused
+	// equal-split (Fig. 15's story).
+	if co.MaxTransMS < dt.MaxTransMS {
+		t.Errorf("CoEdge trans %.1fms not above DeepThings %.1fms", co.MaxTransMS, dt.MaxTransMS)
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	for _, b := range []Budget{Tiny(), Quick(), Full(), Paper()} {
+		if b.Episodes <= 0 || b.StreamImages <= 0 || b.RandomSplits <= 0 {
+			t.Errorf("bad budget %+v", b)
+		}
+	}
+	if Paper().Episodes != 4000 {
+		t.Error("paper budget must match Section V")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []MethodRow{
+		{Case: "b", Method: "Offload"},
+		{Case: "a", Method: MethodDistrEdge},
+		{Case: "a", Method: "CoEdge"},
+	}
+	SortRows(rows)
+	if rows[0].Case != "a" || rows[0].Method != "CoEdge" {
+		t.Errorf("sort order wrong: %+v", rows)
+	}
+	if rows[2].Case != "b" {
+		t.Errorf("sort order wrong: %+v", rows)
+	}
+}

@@ -1,0 +1,156 @@
+// Package experiments reproduces the paper's evaluation (Section V): the
+// device/network groups of Tables I-III and one harness per figure
+// (Fig. 4-15), each returning typed rows that cmd/distbench renders and
+// EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/network"
+	"distredge/internal/sim"
+)
+
+// Spec fully describes one experimental case: a model, a fleet of devices
+// and their link bandwidths.
+type Spec struct {
+	Name           string
+	Model          *cnn.Model
+	Types          []device.Type
+	BandwidthsMbps []float64
+	TraceMinutes   int
+	Seed           int64
+}
+
+// Env materialises the spec into a simulation environment with stable
+// traces (Fig. 4 regime).
+func (s Spec) Env() *sim.Env {
+	minutes := s.TraceMinutes
+	if minutes == 0 {
+		minutes = 10
+	}
+	return &sim.Env{
+		Model:   s.Model,
+		Devices: device.AsModels(device.Fleet(s.Types...)),
+		Net:     network.NewStable(s.BandwidthsMbps, minutes, s.Seed),
+	}
+}
+
+// uniform returns n copies of v.
+func uniform(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// DeviceGroup is one row of Table I: a heterogeneous device-type mix whose
+// links all share one bandwidth (set per experiment).
+type DeviceGroup struct {
+	Name  string
+	Types []device.Type
+}
+
+// DeviceGroups returns Table I (Groups DA, DB, DC).
+func DeviceGroups() []DeviceGroup {
+	return []DeviceGroup{
+		{"DA", []device.Type{device.TX2, device.TX2, device.Nano, device.Nano}},
+		{"DB", []device.Type{device.Xavier, device.Xavier, device.Nano, device.Nano}},
+		{"DC", []device.Type{device.Xavier, device.TX2, device.Nano, device.Pi3}},
+	}
+}
+
+// Spec builds the case for this group at one shared bandwidth.
+func (g DeviceGroup) Spec(m *cnn.Model, bwMbps float64, seed int64) Spec {
+	return Spec{
+		Name:           fmt.Sprintf("%s-%gMbps", g.Name, bwMbps),
+		Model:          m,
+		Types:          g.Types,
+		BandwidthsMbps: uniform(bwMbps, len(g.Types)),
+		Seed:           seed,
+	}
+}
+
+// NetworkGroup is one row of Table II: a heterogeneous bandwidth mix for a
+// homogeneous device fleet (type set per experiment).
+type NetworkGroup struct {
+	Name           string
+	BandwidthsMbps []float64
+}
+
+// NetworkGroups returns Table II (Groups NA-ND).
+func NetworkGroups() []NetworkGroup {
+	return []NetworkGroup{
+		{"NA", []float64{50, 50, 200, 200}},
+		{"NB", []float64{100, 100, 200, 200}},
+		{"NC", []float64{200, 200, 300, 300}},
+		{"ND", []float64{50, 100, 200, 300}},
+	}
+}
+
+// Spec builds the case for this group with a homogeneous device type.
+func (g NetworkGroup) Spec(m *cnn.Model, t device.Type, seed int64) Spec {
+	types := make([]device.Type, len(g.BandwidthsMbps))
+	for i := range types {
+		types[i] = t
+	}
+	return Spec{
+		Name:           fmt.Sprintf("%s-%s", g.Name, t),
+		Model:          m,
+		Types:          types,
+		BandwidthsMbps: g.BandwidthsMbps,
+		Seed:           seed,
+	}
+}
+
+// LargeScaleCase is one row of Table III: 16 devices given as four
+// (bandwidth, type) quadruplets repeated four times.
+type LargeScaleCase struct {
+	Name           string
+	Types          []device.Type
+	BandwidthsMbps []float64
+}
+
+// LargeScaleCases returns Table III (Cases LA-LD).
+func LargeScaleCases() []LargeScaleCase {
+	quad := func(pairs [4]struct {
+		bw float64
+		t  device.Type
+	}) (types []device.Type, bws []float64) {
+		for rep := 0; rep < 4; rep++ {
+			for _, p := range pairs {
+				types = append(types, p.t)
+				bws = append(bws, p.bw)
+			}
+		}
+		return
+	}
+	type pair = struct {
+		bw float64
+		t  device.Type
+	}
+	la, laBW := quad([4]pair{{300, device.Nano}, {200, device.Nano}, {100, device.Nano}, {50, device.Nano}})
+	lb, lbBW := quad([4]pair{{300, device.Pi3}, {200, device.Nano}, {100, device.TX2}, {50, device.Xavier}})
+	lc, lcBW := quad([4]pair{{200, device.Pi3}, {200, device.Nano}, {200, device.TX2}, {200, device.Xavier}})
+	ld, ldBW := quad([4]pair{{50, device.Pi3}, {100, device.Nano}, {200, device.TX2}, {300, device.Xavier}})
+	return []LargeScaleCase{
+		{"LA", la, laBW},
+		{"LB", lb, lbBW},
+		{"LC", lc, lcBW},
+		{"LD", ld, ldBW},
+	}
+}
+
+// Spec builds the 16-device case.
+func (c LargeScaleCase) Spec(m *cnn.Model, seed int64) Spec {
+	return Spec{
+		Name:           c.Name,
+		Model:          m,
+		Types:          c.Types,
+		BandwidthsMbps: c.BandwidthsMbps,
+		Seed:           seed,
+	}
+}

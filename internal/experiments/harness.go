@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distredge/internal/baselines"
+	"distredge/internal/partition"
+	"distredge/internal/sim"
+	"distredge/internal/splitter"
+	"distredge/internal/strategy"
+)
+
+// Budget scales the planning effort so the same harnesses serve unit tests,
+// `go test -bench` and full distbench reproductions. Paper-scale is
+// Max_ep=4000 with {400,200,100} networks; thanks to OSDS's best-strategy
+// tracking, smaller budgets return the best strategy they visited.
+type Budget struct {
+	Episodes     int   // OSDS training episodes
+	Hidden       []int // actor hidden sizes
+	Batch        int   // minibatch size
+	RandomSplits int   // LC-PSS |R^r_s|
+	StreamImages int   // images per IPS measurement (paper: 5000)
+	Seed         int64
+}
+
+// Tiny is for unit tests: seconds per case.
+func Tiny() Budget {
+	return Budget{Episodes: 25, Hidden: []int{16, 16}, Batch: 16, RandomSplits: 20, StreamImages: 25, Seed: 1}
+}
+
+// Quick is for benchmarks and -quick reproductions.
+func Quick() Budget {
+	return Budget{Episodes: 100, Hidden: []int{32, 32}, Batch: 32, RandomSplits: 50, StreamImages: 200, Seed: 1}
+}
+
+// Full is the default distbench budget: close to paper-shaped results in
+// minutes of wall clock.
+func Full() Budget {
+	return Budget{Episodes: 500, Hidden: []int{64, 64}, Batch: 64, RandomSplits: 100, StreamImages: 1000, Seed: 1}
+}
+
+// Paper is the paper's own configuration (Section V); hours of wall clock.
+func Paper() Budget {
+	return Budget{Episodes: 4000, Hidden: []int{400, 200, 100}, Batch: 64, RandomSplits: 100, StreamImages: 5000, Seed: 1}
+}
+
+// MethodDistrEdge is the method label for our system in result rows.
+const MethodDistrEdge = "DistrEdge"
+
+// MethodOrder returns the presentation order of Fig. 7-11: the seven
+// baselines with DistrEdge inserted before Offload.
+func MethodOrder() []string {
+	return []string{"CoEdge", "MoDNN", "MeDNN", "DeepThings", "DeeperThings", "AOFL", MethodDistrEdge, "Offload"}
+}
+
+// osdsConfig derives the OSDS configuration from a budget. The paper uses
+// σ²=0.1 for four providers and σ²=1 for sixteen (Section V).
+func osdsConfig(b Budget, providers int, seed int64) splitter.Config {
+	sigmaSq := 0.1
+	if providers >= 16 {
+		sigmaSq = 1
+	}
+	return splitter.Config{
+		Episodes:  b.Episodes,
+		Hidden:    b.Hidden,
+		Batch:     b.Batch,
+		SigmaSq:   sigmaSq,
+		Seed:      seed,
+		WarmStart: true,
+	}
+}
+
+// lcpssSearch runs LC-PSS under the budget.
+func lcpssSearch(env *sim.Env, b Budget, alpha float64) ([]int, error) {
+	return partition.Search(env.Model, partition.Config{
+		Alpha:           alpha,
+		NumRandomSplits: b.RandomSplits,
+		Providers:       env.NumProviders(),
+		Seed:            b.Seed,
+	})
+}
+
+// searchOSDS trains the splitter over fixed boundaries under the budget.
+func searchOSDS(env *sim.Env, boundaries []int, b Budget) (*strategy.Strategy, error) {
+	res, err := splitter.Search(env, boundaries, osdsConfig(b, env.NumProviders(), b.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: OSDS: %w", err)
+	}
+	return res.Strategy, nil
+}
+
+// PlanDistrEdge runs the full DistrEdge pipeline (LC-PSS with the given α,
+// then OSDS) and returns the chosen strategy.
+func PlanDistrEdge(env *sim.Env, b Budget, alpha float64) (*strategy.Strategy, error) {
+	boundaries, err := lcpssSearch(env, b, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LC-PSS: %w", err)
+	}
+	return searchOSDS(env, boundaries, b)
+}
+
+// MethodRow is one bar of an IPS figure: a method's streaming performance
+// in one case, with the Fig. 15 breakdown attached.
+type MethodRow struct {
+	Case       string
+	Method     string
+	IPS        float64
+	MeanLatMS  float64
+	MaxCompMS  float64
+	MaxTransMS float64
+	Volumes    int
+}
+
+// RunCase evaluates every method of MethodOrder on the spec and returns one
+// row per method. The DistrEdge α is fixed to the paper's 0.75.
+func RunCase(spec Spec, b Budget) ([]MethodRow, error) {
+	env := spec.Env()
+	rows := make([]MethodRow, 0, len(MethodOrder()))
+	for _, name := range MethodOrder() {
+		var s *strategy.Strategy
+		var err error
+		if name == MethodDistrEdge {
+			s, err = PlanDistrEdge(env, b, 0.75)
+		} else {
+			s, err = baselines.Plan(baselines.Method(name), env)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
+		}
+		res, err := env.Stream(s, b.StreamImages, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
+		}
+		rows = append(rows, MethodRow{
+			Case:       spec.Name,
+			Method:     name,
+			IPS:        res.IPS,
+			MeanLatMS:  res.MeanLatMS,
+			MaxCompMS:  res.Breakdown.MaxComp() * 1e3,
+			MaxTransMS: res.Breakdown.MaxTrans() * 1e3,
+			Volumes:    s.NumVolumes(),
+		})
+	}
+	return rows, nil
+}
+
+// BestBaselineIPS returns the best non-DistrEdge, non-Offload IPS in rows —
+// the comparison point for the paper's "1.1-3x over the best baseline".
+func BestBaselineIPS(rows []MethodRow) float64 {
+	var best float64
+	for _, r := range rows {
+		if r.Method == MethodDistrEdge {
+			continue
+		}
+		if r.IPS > best {
+			best = r.IPS
+		}
+	}
+	return best
+}
+
+// FindRow returns the row of the given method, or false.
+func FindRow(rows []MethodRow, method string) (MethodRow, bool) {
+	for _, r := range rows {
+		if r.Method == method {
+			return r, true
+		}
+	}
+	return MethodRow{}, false
+}

@@ -1,0 +1,176 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(100)
+	for _, at := range []float64{0, 1.5, 3600, 1e6} {
+		if got := tr.ThroughputAt(at); got != 100e6 {
+			t.Fatalf("ThroughputAt(%g) = %g, want 1e8", at, got)
+		}
+	}
+	if tr.Mean() != 100 {
+		t.Errorf("Mean = %g, want 100", tr.Mean())
+	}
+}
+
+func TestNilAndEmptyTrace(t *testing.T) {
+	var tr *Trace
+	if tr.ThroughputAt(5) != 0 {
+		t.Error("nil trace must report 0 throughput")
+	}
+	empty := &Trace{SlotSeconds: 1}
+	if empty.ThroughputAt(5) != 0 || empty.Mean() != 0 {
+		t.Error("empty trace must report 0")
+	}
+}
+
+func TestStableTraceStaysNearNominal(t *testing.T) {
+	for _, bw := range []float64{50, 100, 200, 300} {
+		tr := Stable(bw, 60, 1)
+		if got := tr.Duration(); got != 3600 {
+			t.Fatalf("duration = %g, want 3600", got)
+		}
+		mean := tr.Mean()
+		if math.Abs(mean-bw) > 0.05*bw {
+			t.Errorf("bw %g: mean %g drifted too far", bw, mean)
+		}
+		for i, v := range tr.Mbps {
+			if v < 0.05*bw || v > 1.1*bw {
+				t.Fatalf("bw %g: sample %d = %g out of bounds", bw, i, v)
+			}
+		}
+	}
+}
+
+func TestDynamicTraceBounds(t *testing.T) {
+	tr := Dynamic(40, 100, 60, 9)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range tr.Mbps {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo < 20 || hi > 110 {
+		t.Errorf("dynamic trace escaped bounds: [%g, %g]", lo, hi)
+	}
+	// It must actually fluctuate substantially (Fig. 12).
+	if hi-lo < 20 {
+		t.Errorf("dynamic trace too flat: range %g", hi-lo)
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	a, b := Stable(200, 5, 11), Stable(200, 5, 11)
+	for i := range a.Mbps {
+		if a.Mbps[i] != b.Mbps[i] {
+			t.Fatal("stable trace not deterministic under seed")
+		}
+	}
+	c, d := Dynamic(40, 100, 5, 11), Dynamic(40, 100, 5, 11)
+	for i := range c.Mbps {
+		if c.Mbps[i] != d.Mbps[i] {
+			t.Fatal("dynamic trace not deterministic under seed")
+		}
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	tr := &Trace{SlotSeconds: 1, Mbps: []float64{10, 20, 30}}
+	if tr.ThroughputAt(0) != 10e6 || tr.ThroughputAt(1) != 20e6 || tr.ThroughputAt(3) != 10e6 {
+		t.Error("wraparound lookup broken")
+	}
+	if tr.ThroughputAt(4.7) != 20e6 {
+		t.Error("fractional second lookup broken")
+	}
+}
+
+func newTestNetwork() *Network {
+	return &Network{
+		Providers: []Link{
+			DefaultLink(Constant(50)),
+			DefaultLink(Constant(200)),
+		},
+		Requester: DefaultLink(Constant(300)),
+	}
+}
+
+func TestPairThroughputIsMin(t *testing.T) {
+	n := newTestNetwork()
+	if got := n.PairThroughput(0, 1, 0); got != 50e6 {
+		t.Errorf("pair(0,1) = %g, want 5e7", got)
+	}
+	if got := n.PairThroughput(Requester, 1, 0); got != 200e6 {
+		t.Errorf("pair(req,1) = %g, want 2e8", got)
+	}
+	if n.PairThroughput(0, 99, 0) != 0 {
+		t.Error("unknown device must yield 0")
+	}
+}
+
+func TestTransferLatencyComposition(t *testing.T) {
+	n := newTestNetwork()
+	bytes := 1e6 // 1 MB
+	got := n.TransferLatency(Requester, 0, bytes, 0)
+	// sender IO (1.5ms + 1MB/1GBps=1ms) + wire (8e6/50e6=160ms) + recv IO.
+	want := 0.0025 + 0.16 + 0.0025
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TransferLatency = %g, want %g", got, want)
+	}
+}
+
+func TestTransferLatencyFreeCases(t *testing.T) {
+	n := newTestNetwork()
+	if n.TransferLatency(1, 1, 5e6, 0) != 0 {
+		t.Error("self transfer must be free")
+	}
+	if n.TransferLatency(0, 1, 0, 0) != 0 {
+		t.Error("zero bytes must be free")
+	}
+	if n.TransferLatency(0, -5, 1e6, 0) != 0 {
+		t.Error("invalid endpoint must yield 0")
+	}
+}
+
+func TestTransferLatencyMonotoneInBytes(t *testing.T) {
+	n := newTestNetwork()
+	f := func(a, b uint32) bool {
+		x, y := float64(a%10_000_000), float64(b%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return n.TransferLatency(0, 1, x, 0) <= n.TransferLatency(0, 1, y, 0)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferLatencyIncludesIOFloor(t *testing.T) {
+	// Even a tiny transfer pays the fixed I/O cost on both sides — the
+	// effect the paper says pure-throughput models miss.
+	n := newTestNetwork()
+	got := n.TransferLatency(0, 1, 1, 0)
+	if got < 0.003 {
+		t.Errorf("tiny transfer latency %g below I/O floor", got)
+	}
+}
+
+func TestNewStable(t *testing.T) {
+	n := NewStable([]float64{50, 100, 200, 300}, 10, 4)
+	if len(n.Providers) != 4 {
+		t.Fatalf("providers = %d, want 4", len(n.Providers))
+	}
+	if n.Requester.Trace.Mean() < 280 {
+		t.Errorf("requester should get max bandwidth, mean %g", n.Requester.Trace.Mean())
+	}
+	for i, bw := range []float64{50, 100, 200, 300} {
+		m := n.Providers[i].Trace.Mean()
+		if math.Abs(m-bw) > 0.05*bw {
+			t.Errorf("provider %d mean %g, want ~%g", i, m, bw)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package nn implements the multilayer perceptrons DistrEdge's DDPG agent
+// uses for its actor and critic networks (Section V: actor {400,200,100},
+// critic {400,200,100,100}), with minibatch forward/backward passes and the
+// Adam optimiser — stdlib only.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"distredge/internal/tensor"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+)
+
+func (a Activation) apply(m *tensor.Mat) {
+	switch a {
+	case ReLU:
+		m.Apply(func(x float64) float64 {
+			if x < 0 {
+				return 0
+			}
+			return x
+		})
+	case Tanh:
+		m.Apply(math.Tanh)
+	}
+}
+
+// derivFromOut returns dact/dz given the *activated* output value.
+func (a Activation) derivFromOut(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// MLP is a fully-connected network: Sizes[0] inputs, hidden layers with
+// HiddenAct, and Sizes[len-1] outputs with OutAct.
+type MLP struct {
+	Sizes     []int
+	W         []*tensor.Mat // W[l] is Sizes[l] x Sizes[l+1]
+	B         [][]float64
+	HiddenAct Activation
+	OutAct    Activation
+}
+
+// NewMLP builds an MLP with Xavier-uniform initial weights.
+func NewMLP(sizes []int, hidden, out Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs >=2 sizes, got %v", sizes))
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...), HiddenAct: hidden, OutAct: out}
+	for l := 0; l+1 < len(sizes); l++ {
+		w := tensor.New(sizes[l], sizes[l+1])
+		scale := math.Sqrt(6.0 / float64(sizes[l]+sizes[l+1]))
+		w.Randomize(rng, scale)
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, sizes[l+1]))
+	}
+	return m
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...), HiddenAct: m.HiddenAct, OutAct: m.OutAct}
+	for l := range m.W {
+		c.W = append(c.W, m.W[l].Clone())
+		c.B = append(c.B, append([]float64(nil), m.B[l]...))
+	}
+	return c
+}
+
+// Cache stores per-layer activations from a forward pass for Backward.
+type Cache struct {
+	acts []*tensor.Mat // acts[0] = input, acts[l+1] = output of layer l
+}
+
+// Output returns the network output stored in the cache.
+func (c *Cache) Output() *tensor.Mat { return c.acts[len(c.acts)-1] }
+
+// Forward runs a minibatch (rows = samples) through the network.
+func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
+	_, cache := m.ForwardCache(x)
+	return cache.Output()
+}
+
+// ForwardCache runs a minibatch and keeps the activations for Backward.
+func (m *MLP) ForwardCache(x *tensor.Mat) (*tensor.Mat, *Cache) {
+	if x.C != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: input width %d, want %d", x.C, m.Sizes[0]))
+	}
+	cache := &Cache{acts: make([]*tensor.Mat, 0, len(m.W)+1)}
+	cache.acts = append(cache.acts, x)
+	cur := x
+	for l := range m.W {
+		z := tensor.MulAB(cur, m.W[l])
+		z.AddRowVec(m.B[l])
+		if l == len(m.W)-1 {
+			m.OutAct.apply(z)
+		} else {
+			m.HiddenAct.apply(z)
+		}
+		cache.acts = append(cache.acts, z)
+		cur = z
+	}
+	return cur, cache
+}
+
+// Grads holds parameter gradients matching an MLP's weights and biases.
+type Grads struct {
+	W []*tensor.Mat
+	B [][]float64
+}
+
+// Backward backpropagates dL/dOut (same shape as the cached output) and
+// returns dL/dInput along with the parameter gradients.
+func (m *MLP) Backward(cache *Cache, gradOut *tensor.Mat) (*tensor.Mat, *Grads) {
+	g := &Grads{W: make([]*tensor.Mat, len(m.W)), B: make([][]float64, len(m.W))}
+	delta := gradOut.Clone()
+	for l := len(m.W) - 1; l >= 0; l-- {
+		act := m.HiddenAct
+		if l == len(m.W)-1 {
+			act = m.OutAct
+		}
+		out := cache.acts[l+1]
+		for i := range delta.A {
+			delta.A[i] *= act.derivFromOut(out.A[i])
+		}
+		in := cache.acts[l]
+		g.W[l] = tensor.MulATB(in, delta)
+		g.B[l] = delta.SumRows()
+		if l > 0 {
+			delta = tensor.MulABT(delta, m.W[l])
+		}
+	}
+	var gradIn *tensor.Mat
+	if len(m.W) > 0 {
+		gradIn = tensor.MulABT(delta, m.W[0])
+	}
+	return gradIn, g
+}
+
+// SoftUpdate moves target parameters toward src: θ' ← τθ + (1-τ)θ'.
+func SoftUpdate(target, src *MLP, tau float64) {
+	for l := range target.W {
+		tw, sw := target.W[l], src.W[l]
+		for i := range tw.A {
+			tw.A[i] = tau*sw.A[i] + (1-tau)*tw.A[i]
+		}
+		tb, sb := target.B[l], src.B[l]
+		for i := range tb {
+			tb[i] = tau*sb[i] + (1-tau)*tb[i]
+		}
+	}
+}
+
+// Adam is the Adam optimiser bound to one MLP's parameter shapes.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	mW, vW                []*tensor.Mat
+	mB, vB                [][]float64
+}
+
+// NewAdam returns an Adam optimiser for the given network.
+func NewAdam(m *MLP, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for l := range m.W {
+		a.mW = append(a.mW, tensor.New(m.W[l].R, m.W[l].C))
+		a.vW = append(a.vW, tensor.New(m.W[l].R, m.W[l].C))
+		a.mB = append(a.mB, make([]float64, len(m.B[l])))
+		a.vB = append(a.vB, make([]float64, len(m.B[l])))
+	}
+	return a
+}
+
+// Step applies one Adam update of the gradients to the network.
+func (a *Adam) Step(m *MLP, g *Grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l := range m.W {
+		w, gw := m.W[l].A, g.W[l].A
+		mw, vw := a.mW[l].A, a.vW[l].A
+		for i := range w {
+			mw[i] = a.Beta1*mw[i] + (1-a.Beta1)*gw[i]
+			vw[i] = a.Beta2*vw[i] + (1-a.Beta2)*gw[i]*gw[i]
+			w[i] -= a.LR * (mw[i] / c1) / (math.Sqrt(vw[i]/c2) + a.Eps)
+		}
+		b, gb := m.B[l], g.B[l]
+		mb, vb := a.mB[l], a.vB[l]
+		for i := range b {
+			mb[i] = a.Beta1*mb[i] + (1-a.Beta1)*gb[i]
+			vb[i] = a.Beta2*vb[i] + (1-a.Beta2)*gb[i]*gb[i]
+			b[i] -= a.LR * (mb[i] / c1) / (math.Sqrt(vb[i]/c2) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distredge/internal/tensor"
+)
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{4, 8, 3}, ReLU, Tanh, rng)
+	x := tensor.New(5, 4)
+	x.Randomize(rng, 1)
+	out := m.Forward(x)
+	if out.R != 5 || out.C != 3 {
+		t.Fatalf("output shape %dx%d, want 5x3", out.R, out.C)
+	}
+	for _, v := range out.A {
+		if v < -1 || v > 1 {
+			t.Fatalf("tanh output %g out of [-1,1]", v)
+		}
+	}
+}
+
+// numericalGrad estimates dLoss/dparam by central differences.
+func numericalGrad(m *MLP, x *tensor.Mat, target []float64, param *float64) float64 {
+	loss := func() float64 {
+		out := m.Forward(x)
+		var s float64
+		for i, v := range out.A {
+			d := v - target[i]
+			s += d * d
+		}
+		return s
+	}
+	const h = 1e-6
+	orig := *param
+	*param = orig + h
+	lp := loss()
+	*param = orig - h
+	lm := loss()
+	*param = orig
+	return (lp - lm) / (2 * h)
+}
+
+func TestBackwardMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{3, 5, 4, 2}, ReLU, Tanh, rng)
+	// Perturb biases away from zero so no ReLU pre-activation sits exactly
+	// on the kink (where the subgradient makes numerical comparison moot).
+	for l := range m.B {
+		for i := range m.B[l] {
+			m.B[l][i] = 0.1 * rng.NormFloat64()
+		}
+	}
+	x := tensor.New(4, 3)
+	x.Randomize(rng, 1)
+	target := make([]float64, 4*2)
+	for i := range target {
+		target[i] = rng.NormFloat64() * 0.3
+	}
+	out, cache := m.ForwardCache(x)
+	gradOut := tensor.New(4, 2)
+	for i := range gradOut.A {
+		gradOut.A[i] = 2 * (out.A[i] - target[i])
+	}
+	_, grads := m.Backward(cache, gradOut)
+
+	check := func(name string, analytic float64, param *float64) {
+		num := numericalGrad(m, x, target, param)
+		if math.Abs(num-analytic) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("%s: analytic %g vs numerical %g", name, analytic, num)
+		}
+	}
+	for l := range m.W {
+		check("W0", grads.W[l].A[0], &m.W[l].A[0])
+		last := len(m.W[l].A) - 1
+		check("Wlast", grads.W[l].A[last], &m.W[l].A[last])
+		check("B0", grads.B[l][0], &m.B[l][0])
+	}
+}
+
+func TestBackwardGradInput(t *testing.T) {
+	// dLoss/dInput must also match numerical differentiation.
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP([]int{3, 6, 1}, ReLU, Identity, rng)
+	x := tensor.New(1, 3)
+	x.Randomize(rng, 1)
+	out, cache := m.ForwardCache(x)
+	gradOut := tensor.New(1, 1)
+	gradOut.Set(0, 0, 1) // dL/dout = 1, so gradIn = dout/dx
+	gradIn, _ := m.Backward(cache, gradOut)
+	_ = out
+	const h = 1e-6
+	for j := 0; j < 3; j++ {
+		orig := x.A[j]
+		x.A[j] = orig + h
+		lp := m.Forward(x).At(0, 0)
+		x.A[j] = orig - h
+		lm := m.Forward(x).At(0, 0)
+		x.A[j] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gradIn.At(0, j)) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("input grad %d: analytic %g vs numerical %g", j, gradIn.At(0, j), num)
+		}
+	}
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	// y = sin(2x) on [-1,1]; a small MLP with Adam must fit it far better
+	// than the initial network.
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP([]int{1, 32, 32, 1}, ReLU, Identity, rng)
+	opt := NewAdam(m, 1e-2)
+	n := 64
+	x := tensor.New(n, 1)
+	target := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 2*rng.Float64() - 1
+		x.Set(i, 0, v)
+		target[i] = math.Sin(2 * v)
+	}
+	loss := func() float64 {
+		out := m.Forward(x)
+		var s float64
+		for i := range target {
+			d := out.At(i, 0) - target[i]
+			s += d * d
+		}
+		return s / float64(n)
+	}
+	initial := loss()
+	for it := 0; it < 500; it++ {
+		out, cache := m.ForwardCache(x)
+		g := tensor.New(n, 1)
+		for i := range target {
+			g.Set(i, 0, 2*(out.At(i, 0)-target[i])/float64(n))
+		}
+		_, grads := m.Backward(cache, g)
+		opt.Step(m, grads)
+	}
+	final := loss()
+	if final > initial/10 {
+		t.Errorf("Adam failed to learn: initial %g, final %g", initial, final)
+	}
+	if final > 0.05 {
+		t.Errorf("final loss %g too high", final)
+	}
+}
+
+func TestSoftUpdateConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := NewMLP([]int{2, 4, 1}, ReLU, Identity, rng)
+	dst := NewMLP([]int{2, 4, 1}, ReLU, Identity, rng)
+	for i := 0; i < 2000; i++ {
+		SoftUpdate(dst, src, 0.01)
+	}
+	for l := range src.W {
+		for i := range src.W[l].A {
+			if math.Abs(dst.W[l].A[i]-src.W[l].A[i]) > 1e-6 {
+				t.Fatal("soft update did not converge to source")
+			}
+		}
+	}
+}
+
+func TestSoftUpdateTauOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := NewMLP([]int{2, 3, 1}, ReLU, Identity, rng)
+	dst := NewMLP([]int{2, 3, 1}, ReLU, Identity, rng)
+	SoftUpdate(dst, src, 1)
+	for l := range src.W {
+		for i := range src.W[l].A {
+			if dst.W[l].A[i] != src.W[l].A[i] {
+				t.Fatal("tau=1 must copy exactly")
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMLP([]int{2, 3, 1}, ReLU, Identity, rng)
+	c := m.Clone()
+	c.W[0].A[0] = 99
+	c.B[0][0] = 99
+	if m.W[0].A[0] == 99 || m.B[0][0] == 99 {
+		t.Error("Clone must deep-copy parameters")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ReLU.derivFromOut(2) != 1 || ReLU.derivFromOut(0) != 0 {
+		t.Error("ReLU derivative wrong")
+	}
+	y := math.Tanh(0.7)
+	if math.Abs(Tanh.derivFromOut(y)-(1-y*y)) > 1e-15 {
+		t.Error("Tanh derivative wrong")
+	}
+	if Identity.derivFromOut(5) != 1 {
+		t.Error("Identity derivative wrong")
+	}
+}
+
+func TestNewMLPPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-element sizes")
+		}
+	}()
+	NewMLP([]int{3}, ReLU, Identity, rand.New(rand.NewSource(1)))
+}
+
+func TestForwardPanicsOnBadWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{3, 2}, ReLU, Identity, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong input width")
+		}
+	}()
+	m.Forward(tensor.New(1, 5))
+}

@@ -1,0 +1,242 @@
+// Package rl implements the Deep Deterministic Policy Gradient (DDPG)
+// algorithm (Lillicrap et al., cited as [32] by the paper) used by
+// DistrEdge's OSDS module: an actor-critic pair with target networks, a
+// replay buffer, soft target updates and Gaussian exploration noise, for
+// continuous action spaces.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distredge/internal/nn"
+	"distredge/internal/tensor"
+)
+
+// Transition is one (s, a, r, s', done) tuple (Alg. 2 line 18 stores the
+// raw actor output ã, before the action mapping of Eq. 9).
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+}
+
+// Replay is a bounded FIFO replay buffer with uniform sampling.
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+	rng  *rand.Rand
+}
+
+// NewReplay returns a replay buffer holding up to capacity transitions.
+func NewReplay(capacity int, seed int64) *Replay {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, capacity), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (r *Replay) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (r *Replay) Sample(n int) []Transition {
+	out := make([]Transition, n)
+	m := r.Len()
+	for i := range out {
+		out[i] = r.buf[r.rng.Intn(m)]
+	}
+	return out
+}
+
+// Config sets the DDPG hyper-parameters. The defaults mirror the paper's
+// Section V: γ=0.99, actor lr 1e-4, critic lr 1e-3, batch 64.
+type Config struct {
+	StateDim  int
+	ActionDim int
+	Hidden    []int // actor hidden sizes; the critic gets Hidden + [last]
+	ActorLR   float64
+	CriticLR  float64
+	Gamma     float64
+	Tau       float64
+	BufferCap int
+	Seed      int64
+}
+
+// withDefaults fills zero fields with the paper's values.
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{400, 200, 100}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-4
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 100_000
+	}
+	return c
+}
+
+// Agent is a DDPG agent. The actor maps states to actions in [-1,1]^A
+// (tanh output, Eq. 9's [A,B] bounds); the critic maps (state, action) to a
+// scalar Q value.
+type Agent struct {
+	Cfg     Config
+	Actor   *nn.MLP
+	Critic  *nn.MLP
+	ActorT  *nn.MLP
+	CriticT *nn.MLP
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	Buf       *Replay
+	rng       *rand.Rand
+}
+
+// New creates a DDPG agent (Alg. 2 lines 1-3: random nets, targets copied,
+// empty replay buffer).
+func New(cfg Config) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDim < 1 || cfg.ActionDim < 1 {
+		return nil, fmt.Errorf("rl: need positive state/action dims, got %d/%d", cfg.StateDim, cfg.ActionDim)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	actorSizes := append(append([]int{cfg.StateDim}, cfg.Hidden...), cfg.ActionDim)
+	criticHidden := append(append([]int(nil), cfg.Hidden...), cfg.Hidden[len(cfg.Hidden)-1])
+	criticSizes := append(append([]int{cfg.StateDim + cfg.ActionDim}, criticHidden...), 1)
+	a := &Agent{
+		Cfg:    cfg,
+		Actor:  nn.NewMLP(actorSizes, nn.ReLU, nn.Tanh, rng),
+		Critic: nn.NewMLP(criticSizes, nn.ReLU, nn.Identity, rng),
+		Buf:    NewReplay(cfg.BufferCap, cfg.Seed+1),
+		rng:    rng,
+	}
+	a.ActorT = a.Actor.Clone()
+	a.CriticT = a.Critic.Clone()
+	a.actorOpt = nn.NewAdam(a.Actor, cfg.ActorLR)
+	a.criticOpt = nn.NewAdam(a.Critic, cfg.CriticLR)
+	return a, nil
+}
+
+// Action returns the deterministic policy action μ(s) in [-1,1]^A.
+func (a *Agent) Action(state []float64) []float64 {
+	x := tensor.FromSlice(1, len(state), append([]float64(nil), state...))
+	out := a.Actor.Forward(x)
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// NoisyAction returns μ(s) + N(0, sigma²) clipped to [-1,1] (Alg. 2
+// line 11).
+func (a *Agent) NoisyAction(state []float64, sigma float64) []float64 {
+	act := a.Action(state)
+	for i := range act {
+		act[i] += sigma * a.rng.NormFloat64()
+		if act[i] > 1 {
+			act[i] = 1
+		}
+		if act[i] < -1 {
+			act[i] = -1
+		}
+	}
+	return act
+}
+
+// RandomAction returns a uniform action in [-1,1]^A (pure exploration).
+func (a *Agent) RandomAction() []float64 {
+	act := make([]float64, a.Cfg.ActionDim)
+	for i := range act {
+		act[i] = 2*a.rng.Float64() - 1
+	}
+	return act
+}
+
+// Update samples a minibatch and performs one critic and one actor gradient
+// step plus soft target updates (Alg. 2 lines 19-22). It returns the critic
+// loss, or 0 if the buffer has fewer than batch transitions.
+func (a *Agent) Update(batch int) float64 {
+	if a.Buf.Len() < batch {
+		return 0
+	}
+	ts := a.Buf.Sample(batch)
+	n := len(ts)
+	ds, da := a.Cfg.StateDim, a.Cfg.ActionDim
+	S := tensor.New(n, ds)
+	A := tensor.New(n, da)
+	S2 := tensor.New(n, ds)
+	for i, t := range ts {
+		copy(S.Row(i), t.State)
+		copy(A.Row(i), t.Action)
+		copy(S2.Row(i), t.NextState)
+	}
+
+	// Targets: y = r + γ·Q'(s', μ'(s')) for non-terminal transitions.
+	a2 := a.ActorT.Forward(S2)
+	q2 := a.CriticT.Forward(tensor.HStack(S2, a2))
+	y := make([]float64, n)
+	for i, t := range ts {
+		y[i] = t.Reward
+		if !t.Done {
+			y[i] += a.Cfg.Gamma * q2.At(i, 0)
+		}
+	}
+
+	// Critic step: minimise (1/n)Σ (Q(s,a) - y)².
+	sa := tensor.HStack(S, A)
+	q, qCache := a.Critic.ForwardCache(sa)
+	gradQ := tensor.New(n, 1)
+	var loss float64
+	for i := 0; i < n; i++ {
+		d := q.At(i, 0) - y[i]
+		loss += d * d
+		gradQ.Set(i, 0, 2*d/float64(n))
+	}
+	loss /= float64(n)
+	_, criticGrads := a.Critic.Backward(qCache, gradQ)
+	a.criticOpt.Step(a.Critic, criticGrads)
+
+	// Actor step: ascend Q(s, μ(s)) — backprop dQ/da through the critic to
+	// the action inputs, then through the actor.
+	aPred, aCache := a.Actor.ForwardCache(S)
+	saPred := tensor.HStack(S, aPred)
+	_, qPredCache := a.Critic.ForwardCache(saPred)
+	ones := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		ones.Set(i, 0, -1.0/float64(n)) // maximise Q ⇒ descend -Q
+	}
+	gradSA, _ := a.Critic.Backward(qPredCache, ones)
+	gradA := gradSA.Cols(ds, ds+da)
+	_, actorGrads := a.Actor.Backward(aCache, gradA)
+	a.actorOpt.Step(a.Actor, actorGrads)
+
+	// Soft target updates.
+	nn.SoftUpdate(a.ActorT, a.Actor, a.Cfg.Tau)
+	nn.SoftUpdate(a.CriticT, a.Critic, a.Cfg.Tau)
+	return loss
+}

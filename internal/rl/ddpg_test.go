@@ -1,0 +1,140 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplayBasics(t *testing.T) {
+	r := NewReplay(3, 1)
+	if r.Len() != 0 {
+		t.Fatal("new buffer must be empty")
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(Transition{Reward: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", r.Len())
+	}
+	// Oldest entries (0,1) must have been evicted.
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, tr := range r.Sample(3) {
+			seen[tr.Reward] = true
+		}
+	}
+	if seen[0] || seen[1] {
+		t.Error("evicted transitions still sampled")
+	}
+	if !seen[2] || !seen[3] || !seen[4] {
+		t.Error("live transitions never sampled")
+	}
+}
+
+func TestReplayMinCapacity(t *testing.T) {
+	r := NewReplay(0, 1)
+	r.Add(Transition{Reward: 7})
+	if r.Len() != 1 || r.Sample(1)[0].Reward != 7 {
+		t.Error("capacity floor of 1 broken")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{StateDim: 0, ActionDim: 2}); err == nil {
+		t.Error("zero state dim must error")
+	}
+	if _, err := New(Config{StateDim: 2, ActionDim: 0}); err == nil {
+		t.Error("zero action dim must error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{StateDim: 2, ActionDim: 1}.withDefaults()
+	if c.Gamma != 0.99 || c.ActorLR != 1e-4 || c.CriticLR != 1e-3 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if len(c.Hidden) != 3 || c.Hidden[0] != 400 {
+		t.Errorf("default hidden sizes wrong: %v", c.Hidden)
+	}
+}
+
+func TestActionBounds(t *testing.T) {
+	a, err := New(Config{StateDim: 3, ActionDim: 2, Hidden: []int{16}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []float64{0.5, -1, 2}
+	for _, act := range [][]float64{a.Action(s), a.NoisyAction(s, 0.5), a.RandomAction()} {
+		if len(act) != 2 {
+			t.Fatalf("action dim %d, want 2", len(act))
+		}
+		for _, v := range act {
+			if v < -1 || v > 1 {
+				t.Fatalf("action %g out of [-1,1]", v)
+			}
+		}
+	}
+}
+
+func TestActionDeterministic(t *testing.T) {
+	a, _ := New(Config{StateDim: 2, ActionDim: 1, Hidden: []int{8}, Seed: 2})
+	s := []float64{0.3, 0.7}
+	x, y := a.Action(s), a.Action(s)
+	if x[0] != y[0] {
+		t.Error("deterministic policy must repeat")
+	}
+}
+
+func TestUpdateRequiresBatch(t *testing.T) {
+	a, _ := New(Config{StateDim: 2, ActionDim: 1, Hidden: []int{8}, Seed: 3})
+	if loss := a.Update(16); loss != 0 {
+		t.Error("update with empty buffer must be a no-op")
+	}
+}
+
+func TestDDPGSolvesBandit(t *testing.T) {
+	// One-step continuous bandit: reward = 1 - (a - target)², maximised at
+	// a = target. DDPG must steer the policy toward the target.
+	target := 0.4
+	a, err := New(Config{
+		StateDim: 1, ActionDim: 1, Hidden: []int{32, 32},
+		ActorLR: 1e-3, CriticLR: 1e-2, Seed: 4, Tau: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{1}
+	for ep := 0; ep < 400; ep++ {
+		var act []float64
+		if ep < 100 {
+			act = a.RandomAction()
+		} else {
+			act = a.NoisyAction(state, 0.2)
+		}
+		r := 1 - (act[0]-target)*(act[0]-target)
+		a.Buf.Add(Transition{State: state, Action: act, Reward: r, NextState: state, Done: true})
+		a.Update(32)
+	}
+	got := a.Action(state)[0]
+	if math.Abs(got-target) > 0.25 {
+		t.Errorf("policy converged to %g, want ~%g", got, target)
+	}
+}
+
+func TestUpdateReducesCriticLoss(t *testing.T) {
+	a, _ := New(Config{StateDim: 1, ActionDim: 1, Hidden: []int{16, 16}, CriticLR: 1e-2, Seed: 5})
+	// Fill with a fixed deterministic mapping r = s*a.
+	for i := 0; i < 256; i++ {
+		s := float64(i%16)/8 - 1
+		act := float64(i%7)/3 - 1
+		a.Buf.Add(Transition{State: []float64{s}, Action: []float64{act}, Reward: s * act, NextState: []float64{s}, Done: true})
+	}
+	first := a.Update(64)
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = a.Update(64)
+	}
+	if last > first {
+		t.Errorf("critic loss did not decrease: first %g, last %g", first, last)
+	}
+}

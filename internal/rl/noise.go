@@ -1,0 +1,66 @@
+package rl
+
+import "math/rand"
+
+// OUNoise is an Ornstein-Uhlenbeck process — the temporally correlated
+// exploration noise of the original DDPG paper (Lillicrap et al.). The
+// DistrEdge paper uses plain Gaussian noise (Alg. 2 line 11), which Agent
+// implements; OUNoise is provided for ablating the exploration scheme.
+type OUNoise struct {
+	Theta float64 // mean-reversion rate
+	Sigma float64 // diffusion scale
+	Mu    float64 // long-run mean
+	Dt    float64 // step size
+
+	state []float64
+	rng   *rand.Rand
+}
+
+// NewOUNoise returns an OU process over dim dimensions with standard DDPG
+// parameters (θ=0.15, σ as given, μ=0, dt=1).
+func NewOUNoise(dim int, sigma float64, seed int64) *OUNoise {
+	return &OUNoise{
+		Theta: 0.15,
+		Sigma: sigma,
+		Dt:    1,
+		state: make([]float64, dim),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Reset returns the process to its mean (start of an episode).
+func (o *OUNoise) Reset() {
+	for i := range o.state {
+		o.state[i] = o.Mu
+	}
+}
+
+// Sample advances the process one step and returns the noise vector (a view
+// of internal state; copy if retaining).
+func (o *OUNoise) Sample() []float64 {
+	for i := range o.state {
+		x := o.state[i]
+		dx := o.Theta*(o.Mu-x)*o.Dt + o.Sigma*o.rng.NormFloat64()
+		o.state[i] = x + dx
+	}
+	return o.state
+}
+
+// NoisyActionOU returns μ(s) plus OU noise, clipped to [-1,1] — a drop-in
+// alternative to NoisyAction for exploration-scheme ablations.
+func (a *Agent) NoisyActionOU(state []float64, noise *OUNoise) []float64 {
+	act := a.Action(state)
+	n := noise.Sample()
+	for i := range act {
+		if i < len(n) {
+			act[i] += n[i]
+		}
+		if act[i] > 1 {
+			act[i] = 1
+		}
+		if act[i] < -1 {
+			act[i] = -1
+		}
+	}
+	return act
+}

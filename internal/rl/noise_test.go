@@ -1,0 +1,82 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOUNoiseMeanReversion(t *testing.T) {
+	// Long-run sample mean must hover near Mu and the variance must be
+	// bounded (the defining properties of an OU process).
+	n := NewOUNoise(1, 0.2, 1)
+	var sum, sumSq float64
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		v := n.Sample()[0]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / steps
+	variance := sumSq/steps - mean*mean
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("OU mean %g drifted from 0", mean)
+	}
+	// Stationary variance of OU ≈ σ²/(2θ) = 0.04/0.3 ≈ 0.133.
+	if variance < 0.05 || variance > 0.3 {
+		t.Errorf("OU variance %g outside plausible band", variance)
+	}
+}
+
+func TestOUNoiseTemporalCorrelation(t *testing.T) {
+	// Consecutive samples must be positively correlated — the reason OU is
+	// used over white noise.
+	n := NewOUNoise(1, 0.3, 2)
+	var prev float64
+	var sumXY, sumX, sumY, sumXX, sumYY float64
+	const steps = 5000
+	prev = n.Sample()[0]
+	for i := 0; i < steps; i++ {
+		cur := n.Sample()[0]
+		sumXY += prev * cur
+		sumX += prev
+		sumY += cur
+		sumXX += prev * prev
+		sumYY += cur * cur
+		prev = cur
+	}
+	nF := float64(steps)
+	num := sumXY - sumX*sumY/nF
+	den := math.Sqrt((sumXX - sumX*sumX/nF) * (sumYY - sumY*sumY/nF))
+	corr := num / den
+	if corr < 0.5 {
+		t.Errorf("OU autocorrelation %g too low", corr)
+	}
+}
+
+func TestOUNoiseReset(t *testing.T) {
+	n := NewOUNoise(3, 0.5, 3)
+	n.Sample()
+	n.Sample()
+	n.Reset()
+	for i, v := range n.state {
+		if v != 0 {
+			t.Errorf("state[%d] = %g after reset", i, v)
+		}
+	}
+}
+
+func TestNoisyActionOUBounds(t *testing.T) {
+	a, err := New(Config{StateDim: 2, ActionDim: 3, Hidden: []int{8}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := NewOUNoise(3, 2.0, 5) // huge sigma to force clipping
+	for i := 0; i < 50; i++ {
+		act := a.NoisyActionOU([]float64{0.1, -0.2}, noise)
+		for _, v := range act {
+			if v < -1 || v > 1 {
+				t.Fatalf("action %g out of bounds", v)
+			}
+		}
+	}
+}

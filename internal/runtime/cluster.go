@@ -1,0 +1,287 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Chunk is the wire unit: rows [Lo,Hi) of generation Volume (-1 = input
+// image) for one image. Payload carries the (scaled) activation bytes.
+type Chunk struct {
+	Image   uint32
+	Volume  int32
+	Lo, Hi  int32
+	Payload []byte
+
+	// destHint routes the chunk through the provider's outbox; unexported,
+	// so gob never puts it on the wire.
+	destHint int
+}
+
+// chunkKey identifies a chunk's coordinates within one image.
+type chunkKey struct {
+	volume int
+	lo, hi int
+}
+
+// conn wraps an outbound gob connection with a send lock.
+type conn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+func (o *conn) send(ch Chunk) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.enc.Encode(ch)
+}
+
+// Provider is one service provider node: a TCP listener plus the three
+// worker goroutines of Section V-A (receive, compute, send).
+type Provider struct {
+	plan ProviderPlan
+	ln   net.Listener
+
+	peers     map[int]*conn // lazily dialled outbound links
+	peerAddrs map[int]string
+	peerMu    sync.Mutex
+
+	inbox    chan Chunk
+	computeQ chan int // step index ready to run
+	outbox   chan Chunk
+
+	mu      sync.Mutex
+	arrived map[uint32]map[chunkKey]bool // image -> received needs
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+	rec     statsRecorder
+}
+
+// newProvider starts a provider listening on localhost.
+func newProvider(plan ProviderPlan) (*Provider, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Provider{
+		plan:      plan,
+		ln:        ln,
+		peers:     make(map[int]*conn),
+		peerAddrs: make(map[int]string),
+		inbox:     make(chan Chunk, 256),
+		computeQ:  make(chan int, 64),
+		outbox:    make(chan Chunk, 256),
+		arrived:   make(map[uint32]map[chunkKey]bool),
+		done:      make(chan struct{}),
+	}
+	p.wg.Add(4)
+	go p.acceptLoop()
+	go p.recvLoop()
+	go p.computeLoop()
+	go p.sendLoop()
+	return p, nil
+}
+
+// Addr returns the provider's listen address.
+func (p *Provider) Addr() string { return p.ln.Addr().String() }
+
+func (p *Provider) setPeers(addrs map[int]string) {
+	p.peerMu.Lock()
+	defer p.peerMu.Unlock()
+	for k, v := range addrs {
+		p.peerAddrs[k] = v
+	}
+}
+
+func (p *Provider) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			dec := gob.NewDecoder(c)
+			for {
+				var ch Chunk
+				if err := dec.Decode(&ch); err != nil {
+					c.Close()
+					return
+				}
+				select {
+				case p.inbox <- ch:
+				case <-p.done:
+					c.Close()
+					return
+				}
+			}
+		}()
+	}
+}
+
+// recvLoop is the receive thread: it assembles arriving chunks and enqueues
+// steps whose inputs are complete.
+func (p *Provider) recvLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case ch := <-p.inbox:
+			p.rec.addReceived()
+			p.deliver(ch)
+		}
+	}
+}
+
+// deliver marks a chunk arrived and schedules ready steps.
+func (p *Provider) deliver(ch Chunk) {
+	p.mu.Lock()
+	img := ch.Image
+	m, ok := p.arrived[img]
+	if !ok {
+		m = make(map[chunkKey]bool)
+		p.arrived[img] = m
+	}
+	m[chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)}] = true
+
+	var ready []int
+	for si, st := range p.plan.Steps {
+		if m[chunkKey{-100, si, 0}] { // already scheduled marker
+			continue
+		}
+		all := true
+		for _, need := range st.Needs {
+			if !m[chunkKey{need.Volume, need.Lo, need.Hi}] {
+				all = false
+				break
+			}
+		}
+		if all && len(st.Needs) > 0 {
+			m[chunkKey{-100, si, 0}] = true
+			ready = append(ready, si)
+		}
+	}
+	p.mu.Unlock()
+	for _, si := range ready {
+		select {
+		case p.computeQ <- int(img)<<16 | si:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// computeLoop is the compute thread: it emulates the split-part execution
+// and hands finished outputs to the send thread (or back to assembly for
+// self-routes).
+func (p *Provider) computeLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case token := <-p.computeQ:
+			img := uint32(token >> 16)
+			st := p.plan.Steps[token&0xffff]
+			if st.ComputeSec > 0 {
+				time.Sleep(time.Duration(st.ComputeSec * float64(time.Second)))
+			}
+			p.rec.addCompute(st.ComputeSec)
+			for _, r := range st.Routes {
+				ch := Chunk{
+					Image:   img,
+					Volume:  int32(st.Volume),
+					Lo:      int32(r.Lo),
+					Hi:      int32(r.Hi),
+					Payload: make([]byte, (r.Hi-r.Lo)*st.RowBytes),
+				}
+				if r.Dest == p.plan.Index {
+					p.deliver(ch)
+					continue
+				}
+				select {
+				case p.outbox <- markDest(ch, r.Dest):
+				case <-p.done:
+					return
+				}
+			}
+		}
+	}
+}
+
+// markDest attaches the destination for the send loop via the unexported
+// (never serialised) destHint field.
+func markDest(ch Chunk, dest int) Chunk {
+	ch.destHint = dest
+	return ch
+}
+
+// sendLoop is the send thread: it dials peers lazily and ships chunks.
+func (p *Provider) sendLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case ch := <-p.outbox:
+			dest := ch.destHint
+			ch.destHint = 0
+			if err := p.sendTo(dest, ch); err != nil {
+				// Peer gone: drop (cluster is shutting down).
+				continue
+			}
+			p.rec.addSent()
+		}
+	}
+}
+
+func (p *Provider) sendTo(dest int, ch Chunk) error {
+	p.peerMu.Lock()
+	o, ok := p.peers[dest]
+	if !ok {
+		addr, has := p.peerAddrs[dest]
+		if !has {
+			p.peerMu.Unlock()
+			return fmt.Errorf("runtime: provider %d has no address for %d", p.plan.Index, dest)
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			p.peerMu.Unlock()
+			return err
+		}
+		o = &conn{enc: gob.NewEncoder(c), c: c}
+		p.peers[dest] = o
+	}
+	p.peerMu.Unlock()
+	return o.send(ch)
+}
+
+// gc drops assembly state for completed images.
+func (p *Provider) gc(before uint32) {
+	p.mu.Lock()
+	for img := range p.arrived {
+		if img < before {
+			delete(p.arrived, img)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// close shuts the provider down.
+func (p *Provider) close() {
+	p.closed.Do(func() {
+		close(p.done)
+		p.ln.Close()
+		p.peerMu.Lock()
+		for _, o := range p.peers {
+			o.c.Close()
+		}
+		p.peerMu.Unlock()
+	})
+}

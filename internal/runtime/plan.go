@@ -1,0 +1,238 @@
+// Package runtime executes a distribution strategy over real TCP sockets on
+// localhost, reproducing the paper's deployment (Section V-A): a controller
+// derives per-provider plans from the strategy, split-part weights are
+// preloaded, each provider runs three goroutines (receive, compute, send)
+// sharing queues, and the requester streams images one at a time — an image
+// is not sent until the previous result returns.
+//
+// Compute is emulated: providers sleep for the device model's latency
+// (scaled by Options.TimeScale) instead of running CUDA kernels, and
+// payloads carry the real activation byte counts (scaled by
+// Options.BytesScale). The protocol — framing, routing, assembly, FC
+// gathering — is fully real.
+package runtime
+
+import (
+	"fmt"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/sim"
+	"distredge/internal/strategy"
+)
+
+// RequesterID is the destination index denoting the service requester.
+const RequesterID = -1
+
+// Options tunes the emulation scales.
+type Options struct {
+	// TimeScale multiplies emulated compute sleeps (1.0 = model latency;
+	// tests use small values).
+	TimeScale float64
+	// BytesScale multiplies payload sizes (1.0 = real activation bytes).
+	BytesScale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	if o.BytesScale == 0 {
+		o.BytesScale = 1
+	}
+	return o
+}
+
+// Need is one input dependency of a step: rows [Lo,Hi) of the data produced
+// at the given volume generation (-1 = the raw input image).
+type Need struct {
+	Volume int
+	Lo, Hi int
+}
+
+// Route is one output obligation of a step: send rows [Lo,Hi) of this
+// step's generation to Dest (provider index or RequesterID).
+type Route struct {
+	Dest   int
+	Lo, Hi int
+}
+
+// Step is one unit of work a provider performs per image: wait for all
+// Needs, "compute" for ComputeSec, then emit Routes.
+type Step struct {
+	Volume     int // generation this step produces
+	Part       cnn.RowRange
+	Needs      []Need
+	Routes     []Route
+	ComputeSec float64
+	RowBytes   int // bytes per produced row (scaled)
+}
+
+// ProviderPlan is everything provider i must do for each image.
+type ProviderPlan struct {
+	Index int
+	Steps []Step
+}
+
+// Plan is the controller's output: per-provider plans plus what the
+// requester must scatter and await.
+type Plan struct {
+	Providers []ProviderPlan
+	// Scatter lists the input-image rows each vol-0 provider needs.
+	Scatter       []Need // indexed parallel to ScatterDest
+	ScatterDest   []int
+	InputRowBytes int
+	// Await lists the (volume, lo, hi) chunks that complete one image.
+	Await []Need
+}
+
+// BuildPlan compiles a strategy into a deployment plan. The env supplies
+// the model (for geometry) and device profiles (for emulated compute).
+func BuildPlan(env *sim.Env, strat *strategy.Strategy, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	n := env.NumProviders()
+	if err := strat.Validate(env.Model, n); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	numVol := strat.NumVolumes()
+	scale := func(b float64) int {
+		v := int(b * opts.BytesScale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	plans := make([]ProviderPlan, n)
+	for i := range plans {
+		plans[i].Index = i
+	}
+	plan := &Plan{InputRowBytes: scale(env.Model.Layers[0].InRowBytes())}
+
+	// Per-volume parts and input requirements.
+	parts := make([][]cnn.RowRange, numVol)
+	ins := make([][]cnn.RowRange, numVol)
+	for v := 0; v < numVol; v++ {
+		layers := strategy.Volume(env.Model, strat.Boundaries, v)
+		parts[v] = make([]cnn.RowRange, n)
+		ins[v] = make([]cnn.RowRange, n)
+		for i := 0; i < n; i++ {
+			p := strat.PartRange(env.Model, v, i)
+			parts[v][i] = p
+			if !p.Empty() {
+				ins[v][i] = cnn.VolumeInputRows(layers, p)
+			}
+		}
+	}
+
+	// Steps with needs.
+	for v := 0; v < numVol; v++ {
+		layers := strategy.Volume(env.Model, strat.Boundaries, v)
+		for i := 0; i < n; i++ {
+			p := parts[v][i]
+			if p.Empty() {
+				continue
+			}
+			st := Step{
+				Volume:     v,
+				Part:       p,
+				ComputeSec: device.VolumeLatency(env.Devices[i], layers, p) * opts.TimeScale,
+				RowBytes:   scale(layers[len(layers)-1].OutRowBytes()),
+			}
+			in := ins[v][i]
+			if v == 0 {
+				st.Needs = append(st.Needs, Need{Volume: -1, Lo: in.Lo, Hi: in.Hi})
+				plan.Scatter = append(plan.Scatter, Need{Volume: -1, Lo: in.Lo, Hi: in.Hi})
+				plan.ScatterDest = append(plan.ScatterDest, i)
+			} else {
+				for j := 0; j < n; j++ {
+					ov := in.Intersect(parts[v-1][j])
+					if ov.Empty() {
+						continue
+					}
+					st.Needs = append(st.Needs, Need{Volume: v - 1, Lo: ov.Lo, Hi: ov.Hi})
+				}
+			}
+			plans[i].Steps = append(plans[i].Steps, st)
+		}
+	}
+
+	// Routes: producers of volume v feed consumers of volume v+1.
+	addRoute := func(i, v int, r Route) {
+		for si := range plans[i].Steps {
+			if plans[i].Steps[si].Volume == v {
+				plans[i].Steps[si].Routes = append(plans[i].Steps[si].Routes, r)
+				return
+			}
+		}
+	}
+	for v := 0; v+1 < numVol; v++ {
+		for i := 0; i < n; i++ {
+			if parts[v][i].Empty() {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if parts[v+1][j].Empty() {
+					continue
+				}
+				ov := ins[v+1][j].Intersect(parts[v][i])
+				if ov.Empty() {
+					continue
+				}
+				addRoute(i, v, Route{Dest: j, Lo: ov.Lo, Hi: ov.Hi})
+			}
+		}
+	}
+
+	// Final volume: gather at the FC owner if the model has FC layers,
+	// otherwise return rows straight to the requester.
+	last := numVol - 1
+	fcs := env.Model.FCLayers()
+	if len(fcs) == 0 {
+		for i := 0; i < n; i++ {
+			p := parts[last][i]
+			if p.Empty() {
+				continue
+			}
+			addRoute(i, last, Route{Dest: RequesterID, Lo: p.Lo, Hi: p.Hi})
+			plan.Await = append(plan.Await, Need{Volume: last, Lo: p.Lo, Hi: p.Hi})
+		}
+	} else {
+		owner, best := 0, -1
+		for i := 0; i < n; i++ {
+			if l := parts[last][i].Len(); l > best {
+				best = l
+				owner = i
+			}
+		}
+		var fcLat float64
+		for _, fc := range fcs {
+			fcLat += env.Devices[owner].ComputeLatency(fc, 1)
+		}
+		fcStep := Step{
+			Volume:     numVol, // synthetic FC generation
+			Part:       cnn.RowRange{Lo: 0, Hi: 1},
+			ComputeSec: fcLat * opts.TimeScale,
+			RowBytes:   scale(fcs[len(fcs)-1].OutputBytes()),
+			Routes:     []Route{{Dest: RequesterID, Lo: 0, Hi: 1}},
+		}
+		for i := 0; i < n; i++ {
+			p := parts[last][i]
+			if p.Empty() {
+				continue
+			}
+			fcStep.Needs = append(fcStep.Needs, Need{Volume: last, Lo: p.Lo, Hi: p.Hi})
+			if i == owner {
+				// Own rows arrive via a self-route.
+				addRoute(i, last, Route{Dest: owner, Lo: p.Lo, Hi: p.Hi})
+			} else {
+				addRoute(i, last, Route{Dest: owner, Lo: p.Lo, Hi: p.Hi})
+			}
+		}
+		plans[owner].Steps = append(plans[owner].Steps, fcStep)
+		plan.Await = append(plan.Await, Need{Volume: numVol, Lo: 0, Hi: 1})
+	}
+
+	plan.Providers = plans
+	return plan, nil
+}

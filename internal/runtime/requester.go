@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"distredge/internal/sim"
+	"distredge/internal/strategy"
+)
+
+// Cluster is a deployed strategy: live providers plus the requester-side
+// bookkeeping needed to stream images through them.
+type Cluster struct {
+	plan      *Plan
+	providers []*Provider
+
+	ln      net.Listener
+	resMu   sync.Mutex
+	pending map[uint32]map[chunkKey]bool
+	arrived map[uint32]chan struct{}
+	links   map[int]*conn
+	linkMu  sync.Mutex
+	done    chan struct{}
+	closed  sync.Once
+}
+
+// Deploy builds the plan for a strategy and starts one provider per device
+// on localhost.
+func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, error) {
+	plan, err := BuildPlan(env, strat, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		plan:    plan,
+		pending: make(map[uint32]map[chunkKey]bool),
+		arrived: make(map[uint32]chan struct{}),
+		links:   make(map[int]*conn),
+		done:    make(chan struct{}),
+	}
+	addrs := make(map[int]string)
+	for _, pp := range plan.Providers {
+		p, err := newProvider(pp)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.providers = append(c.providers, p)
+		addrs[pp.Index] = p.Addr()
+	}
+	// Requester result listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.ln = ln
+	addrs[RequesterID] = ln.Addr().String()
+	for _, p := range c.providers {
+		p.setPeers(addrs)
+	}
+	go c.acceptResults()
+	return c, nil
+}
+
+// Addr returns the requester's result listener address.
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+func (c *Cluster) acceptResults() {
+	for {
+		cn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			dec := gob.NewDecoder(cn)
+			for {
+				var ch Chunk
+				if err := dec.Decode(&ch); err != nil {
+					cn.Close()
+					return
+				}
+				c.resMu.Lock()
+				if m, ok := c.pending[ch.Image]; ok {
+					delete(m, chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)})
+					if len(m) == 0 {
+						delete(c.pending, ch.Image)
+						if done, ok := c.arrived[ch.Image]; ok {
+							close(done)
+							delete(c.arrived, ch.Image)
+						}
+					}
+				}
+				c.resMu.Unlock()
+			}
+		}()
+	}
+}
+
+// sendInput scatters one image's input rows to the volume-0 providers.
+func (c *Cluster) sendInput(img uint32) error {
+	for k, need := range c.plan.Scatter {
+		dest := c.plan.ScatterDest[k]
+		ch := Chunk{
+			Image:   img,
+			Volume:  -1,
+			Lo:      int32(need.Lo),
+			Hi:      int32(need.Hi),
+			Payload: make([]byte, (need.Hi-need.Lo)*c.plan.InputRowBytes),
+		}
+		if err := c.sendToProvider(dest, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) sendToProvider(dest int, ch Chunk) error {
+	c.linkMu.Lock()
+	o, ok := c.links[dest]
+	if !ok {
+		cn, err := net.Dial("tcp", c.providers[dest].Addr())
+		if err != nil {
+			c.linkMu.Unlock()
+			return err
+		}
+		o = &conn{enc: gob.NewEncoder(cn), c: cn}
+		c.links[dest] = o
+	}
+	c.linkMu.Unlock()
+	return o.send(ch)
+}
+
+// RunStats summarises a streaming run over the cluster.
+type RunStats struct {
+	Images     int
+	TotalSec   float64
+	IPS        float64
+	PerImageMS []float64
+}
+
+// Run streams `images` images through the deployed strategy, one at a time
+// (Section V-A's protocol), and returns timing statistics.
+func (c *Cluster) Run(images int) (RunStats, error) {
+	if images < 1 {
+		return RunStats{}, fmt.Errorf("runtime: need at least one image")
+	}
+	stats := RunStats{Images: images}
+	start := time.Now()
+	for i := 0; i < images; i++ {
+		img := uint32(i + 1)
+		done := make(chan struct{})
+		c.resMu.Lock()
+		m := make(map[chunkKey]bool, len(c.plan.Await))
+		for _, a := range c.plan.Await {
+			m[chunkKey{a.Volume, a.Lo, a.Hi}] = true
+		}
+		c.pending[img] = m
+		c.arrived[img] = done
+		c.resMu.Unlock()
+
+		t0 := time.Now()
+		if err := c.sendInput(img); err != nil {
+			return stats, err
+		}
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			return stats, fmt.Errorf("runtime: image %d timed out", img)
+		}
+		stats.PerImageMS = append(stats.PerImageMS, float64(time.Since(t0).Microseconds())/1e3)
+		for _, p := range c.providers {
+			p.gc(img)
+		}
+	}
+	stats.TotalSec = time.Since(start).Seconds()
+	stats.IPS = float64(images) / stats.TotalSec
+	return stats, nil
+}
+
+// NumProviders returns the number of live providers.
+func (c *Cluster) NumProviders() int { return len(c.providers) }
+
+// Close tears the cluster down.
+func (c *Cluster) Close() {
+	c.closed.Do(func() {
+		close(c.done)
+		if c.ln != nil {
+			c.ln.Close()
+		}
+		c.linkMu.Lock()
+		for _, o := range c.links {
+			o.c.Close()
+		}
+		c.linkMu.Unlock()
+		for _, p := range c.providers {
+			p.close()
+		}
+	})
+}

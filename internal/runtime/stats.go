@@ -1,0 +1,58 @@
+package runtime
+
+import "sync"
+
+// ProviderStats aggregates one provider's activity over a run: how long its
+// compute goroutine was busy and how many chunks moved through it. The
+// requester collects these for utilisation reporting (idle providers —
+// e.g. a Pi3 the planner excluded — show zero compute).
+type ProviderStats struct {
+	Index          int
+	ComputeSec     float64
+	StepsExecuted  int
+	ChunksReceived int
+	ChunksSent     int
+}
+
+// statsRecorder is embedded in Provider; all methods are safe for
+// concurrent use by the three worker goroutines.
+type statsRecorder struct {
+	mu    sync.Mutex
+	stats ProviderStats
+}
+
+func (s *statsRecorder) addCompute(sec float64) {
+	s.mu.Lock()
+	s.stats.ComputeSec += sec
+	s.stats.StepsExecuted++
+	s.mu.Unlock()
+}
+
+func (s *statsRecorder) addReceived() {
+	s.mu.Lock()
+	s.stats.ChunksReceived++
+	s.mu.Unlock()
+}
+
+func (s *statsRecorder) addSent() {
+	s.mu.Lock()
+	s.stats.ChunksSent++
+	s.mu.Unlock()
+}
+
+func (s *statsRecorder) snapshot(index int) ProviderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Index = index
+	return out
+}
+
+// Stats returns a snapshot of every provider's counters.
+func (c *Cluster) Stats() []ProviderStats {
+	out := make([]ProviderStats, len(c.providers))
+	for i, p := range c.providers {
+		out[i] = p.rec.snapshot(p.plan.Index)
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package sim simulates the distributed execution of a CNN inference
+// strategy on a set of service providers, reproducing the dataflow of the
+// paper's testbed (Section V-A): the requester scatters input rows to the
+// providers of the first layer-volume; between volumes, providers exchange
+// exactly the (halo-overlapped) rows the VSL says they need; fully-connected
+// layers run on the provider holding the largest share of the last volume;
+// results return to the requester.
+//
+// The simulator is the environment OSDS trains against (states, i.e.
+// accumulated latencies, are exposed incrementally via Exec) and the
+// instrument every experiment harness measures with (end-to-end latency,
+// streaming IPS, per-device compute/transmission breakdown for Fig. 15).
+package sim
+
+import (
+	"fmt"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/network"
+	"distredge/internal/strategy"
+)
+
+// Env binds a model to concrete providers and a network. Devices are the
+// latency models executing the strategy: ground-truth device.Profile values
+// when the env plays the role of the hardware, or profile forms
+// (table/linear/piecewise/k-NN) when it plays the role of the controller's
+// view during planning — the paper's Section IV allows both ("the latencies
+// can be directly measured with real execution on devices or estimated by
+// the profiling results").
+type Env struct {
+	Model   *cnn.Model
+	Devices []device.LatencyModel
+	Net     *network.Network
+}
+
+// WithDevices returns a copy of the environment whose devices are replaced
+// by the given latency models (e.g. measured profiles for planning).
+func (e *Env) WithDevices(models []device.LatencyModel) *Env {
+	return &Env{Model: e.Model, Devices: models, Net: e.Net}
+}
+
+// NumProviders returns the number of service providers in the environment.
+func (e *Env) NumProviders() int { return len(e.Devices) }
+
+// Breakdown is the per-image latency decomposition used by Fig. 15.
+type Breakdown struct {
+	PerDevComp  []float64 // total compute seconds per device
+	PerDevTrans []float64 // total receive-side transmission seconds per device
+}
+
+// MaxComp returns the maximum per-device computing latency.
+func (b Breakdown) MaxComp() float64 { return maxOf(b.PerDevComp) }
+
+// MaxTrans returns the maximum per-device transmission latency.
+func (b Breakdown) MaxTrans() float64 { return maxOf(b.PerDevTrans) }
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Exec is the incremental execution of one image under a fixed partition
+// scheme: volumes are split one at a time via Step, exposing the
+// accumulated latencies that form the OSDS state (Eq. 7).
+type Exec struct {
+	env        *Env
+	boundaries []int
+	at         float64 // absolute trace time of the image start
+
+	vol   int            // next volume to split
+	acc   []float64      // accumulated latency per provider (Eq. 7 state)
+	busy  []float64      // time each provider becomes free
+	owner []cnn.RowRange // rows of the previous volume's output held per provider
+	bd    Breakdown
+	err   error
+}
+
+// NewExec starts the execution of one image at absolute time `at` under the
+// given partition scheme.
+func NewExec(env *Env, boundaries []int, at float64) *Exec {
+	n := env.NumProviders()
+	return &Exec{
+		env:        env,
+		boundaries: boundaries,
+		at:         at,
+		acc:        make([]float64, n),
+		busy:       make([]float64, n),
+		owner:      nil, // requester owns the input before volume 0
+		bd: Breakdown{
+			PerDevComp:  make([]float64, n),
+			PerDevTrans: make([]float64, n),
+		},
+	}
+}
+
+// NumVolumes returns the number of volumes in the partition scheme.
+func (x *Exec) NumVolumes() int { return len(x.boundaries) - 1 }
+
+// Done reports whether all volumes have been split.
+func (x *Exec) Done() bool { return x.vol >= x.NumVolumes() }
+
+// Err returns the first execution error, if any.
+func (x *Exec) Err() error { return x.err }
+
+// Accumulated returns the per-provider accumulated latencies after the last
+// completed volume (the T^{l-1} component of the OSDS state).
+func (x *Exec) Accumulated() []float64 { return x.acc }
+
+// NextVolume returns the layers of the volume the next Step will split, or
+// nil when done.
+func (x *Exec) NextVolume() []cnn.Layer {
+	if x.Done() {
+		return nil
+	}
+	return strategy.Volume(x.env.Model, x.boundaries, x.vol)
+}
+
+// Step splits the next volume with the given cut points and advances the
+// execution. Cut points follow strategy.CutRange semantics.
+func (x *Exec) Step(cuts []int) {
+	if x.err != nil || x.Done() {
+		return
+	}
+	layers := strategy.Volume(x.env.Model, x.boundaries, x.vol)
+	h := layers[len(layers)-1].OutHeight()
+	n := x.env.NumProviders()
+	if len(cuts) != n-1 {
+		x.err = fmt.Errorf("sim: volume %d: %d cuts for %d providers", x.vol, len(cuts), n)
+		return
+	}
+
+	newOwner := make([]cnn.RowRange, n)
+	newAcc := append([]float64(nil), x.acc...)
+	for i := 0; i < n; i++ {
+		part := strategy.CutRange(cuts, h, i)
+		newOwner[i] = part
+		if part.Empty() {
+			continue
+		}
+		in := cnn.VolumeInputRows(layers, part)
+		arrive := x.gather(i, in, layers[0].InRowBytes())
+		start := arrive
+		if x.busy[i] > start {
+			start = x.busy[i]
+		}
+		comp := device.VolumeLatency(x.env.Devices[i], layers, part)
+		finish := start + comp
+		x.bd.PerDevComp[i] += comp
+		x.busy[i] = finish
+		newAcc[i] = finish
+	}
+	x.acc = newAcc
+	x.owner = newOwner
+	x.vol++
+}
+
+// gather computes when provider i has received input rows `in`, pulling
+// overlapping rows from every current owner (or the requester before volume
+// 0). Rows the provider already owns arrive as soon as it computed them.
+func (x *Exec) gather(i int, in cnn.RowRange, rowBytes float64) float64 {
+	if in.Empty() {
+		return 0
+	}
+	if x.owner == nil {
+		// Requester scatters the input image rows.
+		bytes := float64(in.Len()) * rowBytes
+		tr := x.env.Net.TransferLatency(network.Requester, i, bytes, x.at)
+		x.bd.PerDevTrans[i] += tr
+		return tr
+	}
+	var arrive float64
+	for j, own := range x.owner {
+		ov := in.Intersect(own)
+		if ov.Empty() {
+			continue
+		}
+		t := x.acc[j]
+		if j != i {
+			bytes := float64(ov.Len()) * rowBytes
+			tr := x.env.Net.TransferLatency(j, i, bytes, x.at+t)
+			x.bd.PerDevTrans[i] += tr
+			t += tr
+		}
+		if t > arrive {
+			arrive = t
+		}
+	}
+	return arrive
+}
+
+// Finish completes the image: gathers the last volume's output (to the FC
+// owner if the model has FC layers, else directly to the requester),
+// computes any FC layers, and returns the result to the requester. It
+// returns the end-to-end latency of the image.
+func (x *Exec) Finish() (float64, Breakdown, error) {
+	if x.err != nil {
+		return 0, x.bd, x.err
+	}
+	if !x.Done() {
+		return 0, x.bd, fmt.Errorf("sim: Finish called with %d volumes remaining", x.NumVolumes()-x.vol)
+	}
+	convLayers := x.env.Model.SplittableLayers()
+	last := convLayers[len(convLayers)-1]
+	rowBytes := last.OutRowBytes()
+	fcs := x.env.Model.FCLayers()
+
+	if len(fcs) == 0 {
+		// Fully-convolutional model: each provider returns its rows.
+		var end float64
+		for j, own := range x.owner {
+			if own.Empty() {
+				continue
+			}
+			t := x.acc[j] + x.env.Net.TransferLatency(j, network.Requester, float64(own.Len())*rowBytes, x.at+x.acc[j])
+			if t > end {
+				end = t
+			}
+		}
+		return end, x.bd, nil
+	}
+
+	// FC owner: provider with the largest share of the last volume
+	// (Section V-A).
+	ownerIdx, best := 0, -1
+	for j, own := range x.owner {
+		if own.Len() > best {
+			best = own.Len()
+			ownerIdx = j
+		}
+	}
+	// Gather the full feature map at the owner.
+	ready := x.acc[ownerIdx]
+	for j, own := range x.owner {
+		if j == ownerIdx || own.Empty() {
+			continue
+		}
+		bytes := float64(own.Len()) * rowBytes
+		tr := x.env.Net.TransferLatency(j, ownerIdx, bytes, x.at+x.acc[j])
+		x.bd.PerDevTrans[ownerIdx] += tr
+		if t := x.acc[j] + tr; t > ready {
+			ready = t
+		}
+	}
+	// FC compute on the owner.
+	var fcLat float64
+	for _, fc := range fcs {
+		fcLat += x.env.Devices[ownerIdx].ComputeLatency(fc, 1)
+	}
+	x.bd.PerDevComp[ownerIdx] += fcLat
+	done := ready + fcLat
+	// Result back to the requester.
+	result := fcs[len(fcs)-1].OutputBytes()
+	end := done + x.env.Net.TransferLatency(ownerIdx, network.Requester, result, x.at+done)
+	return end, x.bd, nil
+}
+
+// Latency runs a full strategy for one image starting at absolute time `at`
+// and returns the end-to-end latency and breakdown.
+func (e *Env) Latency(s *strategy.Strategy, at float64) (float64, Breakdown, error) {
+	if err := s.Validate(e.Model, e.NumProviders()); err != nil {
+		return 0, Breakdown{}, err
+	}
+	x := NewExec(e, s.Boundaries, at)
+	for v := 0; v < s.NumVolumes(); v++ {
+		x.Step(s.Splits[v])
+	}
+	return x.Finish()
+}
+
+// StreamResult summarises a streaming evaluation (Section V-A: images are
+// sent one at a time, each waiting for the previous result).
+type StreamResult struct {
+	Images    int
+	TotalSec  float64
+	IPS       float64
+	MeanLatMS float64
+	Breakdown Breakdown // of the final image
+}
+
+// Stream evaluates the strategy over a stream of `images` images starting
+// at trace time `start`, returning the averaged images-per-second — the
+// paper's headline metric.
+func (e *Env) Stream(s *strategy.Strategy, images int, start float64) (StreamResult, error) {
+	if images <= 0 {
+		return StreamResult{}, fmt.Errorf("sim: need at least 1 image")
+	}
+	t := start
+	var lastBD Breakdown
+	for i := 0; i < images; i++ {
+		lat, bd, err := e.Latency(s, t)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		t += lat
+		lastBD = bd
+	}
+	total := t - start
+	return StreamResult{
+		Images:    images,
+		TotalSec:  total,
+		IPS:       float64(images) / total,
+		MeanLatMS: total / float64(images) * 1e3,
+		Breakdown: lastBD,
+	}, nil
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"distredge/internal/cnn"
+	"distredge/internal/network"
+	"distredge/internal/strategy"
+)
+
+// EventKind classifies a timeline event.
+type EventKind string
+
+// Event kinds.
+const (
+	EventScatter EventKind = "scatter" // requester -> provider input rows
+	EventRecv    EventKind = "recv"    // inter-provider halo transfer
+	EventCompute EventKind = "compute" // split-part execution
+	EventGather  EventKind = "gather"  // last volume -> FC owner
+	EventFC      EventKind = "fc"      // fully-connected layers on the owner
+	EventResult  EventKind = "result"  // result back to the requester
+)
+
+// Event is one interval of activity attributed to a device during the
+// execution of a single image.
+type Event struct {
+	Device int // provider index; network.Requester for the requester
+	Volume int // volume index; -1 for scatter/result phases
+	Kind   EventKind
+	Start  float64 // seconds since the image entered the system
+	End    float64
+}
+
+// Timeline executes one image under the strategy and returns the full
+// event log — a Gantt view of where every millisecond went. The final
+// event's End equals the end-to-end latency.
+func (e *Env) Timeline(s *strategy.Strategy, at float64) ([]Event, float64, error) {
+	if err := s.Validate(e.Model, e.NumProviders()); err != nil {
+		return nil, 0, err
+	}
+	var events []Event
+	n := e.NumProviders()
+	acc := make([]float64, n)
+	busy := make([]float64, n)
+	var owner []cnn.RowRange
+
+	for v := 0; v < s.NumVolumes(); v++ {
+		layers := strategy.Volume(e.Model, s.Boundaries, v)
+		h := layers[len(layers)-1].OutHeight()
+		newOwner := make([]cnn.RowRange, n)
+		newAcc := append([]float64(nil), acc...)
+		for i := 0; i < n; i++ {
+			part := strategy.CutRange(s.Splits[v], h, i)
+			newOwner[i] = part
+			if part.Empty() {
+				continue
+			}
+			in := cnn.VolumeInputRows(layers, part)
+			var arrive float64
+			if owner == nil {
+				tr := e.Net.TransferLatency(network.Requester, i, float64(in.Len())*layers[0].InRowBytes(), at)
+				if tr > 0 {
+					events = append(events, Event{Device: i, Volume: v, Kind: EventScatter, Start: 0, End: tr})
+				}
+				arrive = tr
+			} else {
+				for j, own := range owner {
+					ov := in.Intersect(own)
+					if ov.Empty() {
+						continue
+					}
+					t := acc[j]
+					if j != i {
+						tr := e.Net.TransferLatency(j, i, float64(ov.Len())*layers[0].InRowBytes(), at+t)
+						if tr > 0 {
+							events = append(events, Event{Device: i, Volume: v, Kind: EventRecv, Start: t, End: t + tr})
+						}
+						t += tr
+					}
+					if t > arrive {
+						arrive = t
+					}
+				}
+			}
+			start := arrive
+			if busy[i] > start {
+				start = busy[i]
+			}
+			var comp float64
+			ranges := cnn.VolumeRanges(layers, part)
+			for li, l := range layers {
+				comp += e.Devices[i].ComputeLatency(l, ranges[li].Len())
+			}
+			events = append(events, Event{Device: i, Volume: v, Kind: EventCompute, Start: start, End: start + comp})
+			busy[i] = start + comp
+			newAcc[i] = start + comp
+		}
+		acc = newAcc
+		owner = newOwner
+	}
+
+	// Finish phase mirrors Exec.Finish.
+	convLayers := e.Model.SplittableLayers()
+	rowBytes := convLayers[len(convLayers)-1].OutRowBytes()
+	fcs := e.Model.FCLayers()
+	var end float64
+	if len(fcs) == 0 {
+		for j, own := range owner {
+			if own.Empty() {
+				continue
+			}
+			tr := e.Net.TransferLatency(j, network.Requester, float64(own.Len())*rowBytes, at+acc[j])
+			events = append(events, Event{Device: j, Volume: -1, Kind: EventResult, Start: acc[j], End: acc[j] + tr})
+			if t := acc[j] + tr; t > end {
+				end = t
+			}
+		}
+	} else {
+		ownerIdx, best := 0, -1
+		for j, own := range owner {
+			if own.Len() > best {
+				best = own.Len()
+				ownerIdx = j
+			}
+		}
+		ready := acc[ownerIdx]
+		for j, own := range owner {
+			if j == ownerIdx || own.Empty() {
+				continue
+			}
+			tr := e.Net.TransferLatency(j, ownerIdx, float64(own.Len())*rowBytes, at+acc[j])
+			events = append(events, Event{Device: ownerIdx, Volume: -1, Kind: EventGather, Start: acc[j], End: acc[j] + tr})
+			if t := acc[j] + tr; t > ready {
+				ready = t
+			}
+		}
+		var fcLat float64
+		for _, fc := range fcs {
+			fcLat += e.Devices[ownerIdx].ComputeLatency(fc, 1)
+		}
+		events = append(events, Event{Device: ownerIdx, Volume: -1, Kind: EventFC, Start: ready, End: ready + fcLat})
+		done := ready + fcLat
+		result := fcs[len(fcs)-1].OutputBytes()
+		tr := e.Net.TransferLatency(ownerIdx, network.Requester, result, at+done)
+		events = append(events, Event{Device: ownerIdx, Volume: -1, Kind: EventResult, Start: done, End: done + tr})
+		end = done + tr
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].End < events[j].End
+	})
+	return events, end, nil
+}
+
+// RenderTimeline formats the event log as a per-device text Gantt chart
+// with the given character width.
+func RenderTimeline(events []Event, total float64, width int) string {
+	if len(events) == 0 || total <= 0 {
+		return ""
+	}
+	if width < 10 {
+		width = 60
+	}
+	byDev := map[int][]Event{}
+	var devs []int
+	for _, ev := range events {
+		if _, ok := byDev[ev.Device]; !ok {
+			devs = append(devs, ev.Device)
+		}
+		byDev[ev.Device] = append(byDev[ev.Device], ev)
+	}
+	sort.Ints(devs)
+	glyph := map[EventKind]rune{
+		EventScatter: 's', EventRecv: 'r', EventCompute: '#',
+		EventGather: 'g', EventFC: 'f', EventResult: '>',
+	}
+	out := ""
+	for _, d := range devs {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, ev := range byDev[d] {
+			lo := int(ev.Start / total * float64(width))
+			hi := int(ev.End / total * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = glyph[ev.Kind]
+			}
+		}
+		out += fmt.Sprintf("dev %2d |%s|\n", d, string(row))
+	}
+	out += fmt.Sprintf("total %.1f ms  (s=scatter r=recv #=compute g=gather f=fc >=result)\n", total*1e3)
+	return out
+}

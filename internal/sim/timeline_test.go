@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"distredge/internal/device"
+	"distredge/internal/strategy"
+)
+
+func timelineFixture(t *testing.T) (*Env, *strategy.Strategy) {
+	t.Helper()
+	env := testEnv(100, device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := equalSplitStrategy(env.Model, strategy.PoolBoundaries(env.Model), 4)
+	return env, s
+}
+
+func TestTimelineMatchesLatency(t *testing.T) {
+	env, s := timelineFixture(t)
+	want, _, err := env.Latency(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, total, err := env.Timeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("timeline total %g != latency %g", total, want)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// The last event must end exactly at the total.
+	maxEnd := 0.0
+	for _, ev := range events {
+		if ev.End > maxEnd {
+			maxEnd = ev.End
+		}
+	}
+	if math.Abs(maxEnd-total) > 1e-9 {
+		t.Errorf("max event end %g != total %g", maxEnd, total)
+	}
+}
+
+func TestTimelineEventInvariants(t *testing.T) {
+	env, s := timelineFixture(t)
+	events, _, err := env.Timeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computeByDev := map[int][]Event{}
+	for _, ev := range events {
+		if ev.End < ev.Start {
+			t.Fatalf("event ends before it starts: %+v", ev)
+		}
+		if ev.Start < 0 {
+			t.Fatalf("negative start: %+v", ev)
+		}
+		if ev.Kind == EventCompute {
+			computeByDev[ev.Device] = append(computeByDev[ev.Device], ev)
+		}
+	}
+	// Compute events on one device must not overlap (a device is serial).
+	for dev, evs := range computeByDev {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End-1e-12 {
+				t.Errorf("device %d compute events overlap: %+v then %+v", dev, evs[i-1], evs[i])
+			}
+		}
+	}
+}
+
+func TestTimelineHasAllPhases(t *testing.T) {
+	env, s := timelineFixture(t)
+	events, _, err := env.Timeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]bool{}
+	for _, ev := range events {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []EventKind{EventScatter, EventCompute, EventFC, EventResult} {
+		if !kinds[k] {
+			t.Errorf("missing %s events", k)
+		}
+	}
+	// Equal split across pool boundaries needs halo transfers.
+	if !kinds[EventRecv] {
+		t.Error("missing recv events")
+	}
+}
+
+func TestTimelineRejectsInvalid(t *testing.T) {
+	env, _ := timelineFixture(t)
+	bad := &strategy.Strategy{Boundaries: []int{0, 3}}
+	if _, _, err := env.Timeline(bad, 0); err == nil {
+		t.Fatal("invalid strategy must be rejected")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	env, s := timelineFixture(t)
+	events, total, err := env.Timeline(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(events, total, 60)
+	if !strings.Contains(out, "dev  0") || !strings.Contains(out, "#") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "total") {
+		t.Error("render missing total line")
+	}
+	if RenderTimeline(nil, 0, 60) != "" {
+		t.Error("empty timeline must render empty")
+	}
+}

@@ -1,0 +1,473 @@
+// Package splitter implements OSDS — Optimal Split Decision Search
+// (Algorithm 2 of the DistrEdge paper): a DDPG agent that splits each
+// layer-volume vertically across the service providers, observing the
+// accumulated per-device latencies and the next volume's layer
+// configuration (Eq. 7), acting in a continuous space mapped to cut points
+// (Eq. 9), and rewarded with 1/T at the end of each episode (Eq. 8). The
+// best strategy seen during training is kept (lines 24-26).
+package splitter
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/rl"
+	"distredge/internal/sim"
+	"distredge/internal/strategy"
+)
+
+// Config holds the OSDS hyper-parameters. Paper values (Section V):
+// Max_ep=4000, ∆ε=1/250, σ²=0.1 (σ²=1 for 16 providers), Nb=64, γ=0.99,
+// actor lr 1e-4, critic lr 1e-3, actor {400,200,100}. Smaller budgets are
+// used in tests and benchmarks; thanks to best-strategy tracking, short
+// runs still return the best strategy they visited.
+type Config struct {
+	Episodes int
+	Hidden   []int
+	Batch    int
+	Gamma    float64
+	SigmaSq  float64 // exploration noise variance σ²
+	DeltaEps float64 // ε-schedule slope; 0 = auto from Episodes
+	ActorLR  float64
+	CriticLR float64
+	Seed     int64
+
+	// WarmStart seeds the first episodes with profile-guided balanced
+	// splits (an engineering addition documented in DESIGN.md; the paper's
+	// agent similarly consumes device profiles). Disable to run pure
+	// Algorithm 2.
+	WarmStart bool
+	// UpdateEvery performs a gradient update every k environment steps
+	// (1 = the paper's per-step update).
+	UpdateEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Episodes == 0 {
+		c.Episodes = 4000
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{400, 200, 100}
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.SigmaSq == 0 {
+		c.SigmaSq = 0.1
+	}
+	if c.DeltaEps == 0 {
+		c.DeltaEps = 1 / (0.85 * float64(c.Episodes))
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-4
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	return c
+}
+
+// Result summarises a search.
+type Result struct {
+	Strategy    *strategy.Strategy
+	BestLatency float64   // best end-to-end seconds observed
+	Episodes    []float64 // per-episode end-to-end latency
+}
+
+// Trainer is a reusable OSDS trainer; keeping it alive enables the online
+// finetuning of Section V-F (the actor network stays on the controller and
+// is finetuned when network conditions shift).
+type Trainer struct {
+	env        *sim.Env
+	boundaries []int
+	cfg        Config
+	agent      *rl.Agent
+	rng        *rand.Rand
+	episode    int
+
+	// State normalisation scales derived from the model.
+	latScale float64
+	hScale   float64
+	cScale   float64
+
+	best  *strategy.Strategy
+	bestT float64
+	hist  []float64
+}
+
+// NewTrainer builds a trainer for splitting the given partition scheme on
+// the environment.
+func NewTrainer(env *sim.Env, boundaries []int, cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	n := env.NumProviders()
+	if n < 2 {
+		return nil, fmt.Errorf("splitter: need at least 2 providers, got %d", n)
+	}
+	if len(boundaries) < 2 {
+		return nil, fmt.Errorf("splitter: invalid boundaries %v", boundaries)
+	}
+	agent, err := rl.New(rl.Config{
+		StateDim:  n + 4,
+		ActionDim: n - 1,
+		Hidden:    cfg.Hidden,
+		ActorLR:   cfg.ActorLR,
+		CriticLR:  cfg.CriticLR,
+		Gamma:     cfg.Gamma,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		env:        env,
+		boundaries: boundaries,
+		cfg:        cfg,
+		agent:      agent,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 17)),
+		bestT:      math.Inf(1),
+	}
+	t.deriveScales()
+	return t, nil
+}
+
+func (t *Trainer) deriveScales() {
+	var hMax, cMax float64
+	for _, l := range t.env.Model.SplittableLayers() {
+		hMax = math.Max(hMax, float64(l.OutHeight()))
+		cMax = math.Max(cMax, float64(l.OutDepth()))
+	}
+	t.hScale = math.Max(hMax, 1)
+	t.cScale = math.Max(cMax, 1)
+	// Latency scale: the whole model on the fastest provider.
+	best := math.Inf(1)
+	for _, d := range t.env.Devices {
+		best = math.Min(best, device.ModelLatency(d, t.env.Model))
+	}
+	t.latScale = math.Max(best, 1e-3)
+}
+
+// state assembles Eq. 7: accumulated latencies plus the configuration
+// (H, C, F, S) of the last layer of the upcoming volume; normalised.
+func (t *Trainer) state(acc []float64, vol []cnn.Layer) []float64 {
+	n := t.env.NumProviders()
+	s := make([]float64, n+4)
+	for i, a := range acc {
+		s[i] = a / t.latScale
+	}
+	last := vol[len(vol)-1]
+	s[n] = float64(last.OutHeight()) / t.hScale
+	s[n+1] = float64(last.OutDepth()) / t.cScale
+	s[n+2] = float64(last.F) / 7
+	s[n+3] = float64(last.S) / 4
+	return s
+}
+
+// mapAction converts a raw actor output ã ∈ [-1,1]^{n-1} into sorted cut
+// points on height h (Eq. 9 with [A,B] = [-1,1]).
+func mapAction(raw []float64, h int) []int {
+	sorted := append([]float64(nil), raw...)
+	sort.Float64s(sorted)
+	cuts := make([]int, len(sorted))
+	for i, v := range sorted {
+		x := int(math.Round(float64(h) * (v + 1) / 2))
+		if x < 0 {
+			x = 0
+		}
+		if x > h {
+			x = h
+		}
+		if i > 0 && x < cuts[i-1] {
+			x = cuts[i-1]
+		}
+		cuts[i] = x
+	}
+	return cuts
+}
+
+// actionFromCuts inverts mapAction for warm-start episodes.
+func actionFromCuts(cuts []int, h int) []float64 {
+	raw := make([]float64, len(cuts))
+	for i, c := range cuts {
+		raw[i] = 2*float64(c)/float64(h) - 1
+	}
+	return raw
+}
+
+// balancedCuts computes a profile-guided balanced split of a volume over
+// all providers (see balancedCutsSubset).
+func balancedCuts(env *sim.Env, layers []cnn.Layer, h int) []int {
+	allowed := make([]bool, env.NumProviders())
+	for i := range allowed {
+		allowed[i] = true
+	}
+	return balancedCutsSubset(env, layers, h, allowed)
+}
+
+// balancedCutsSubset computes a profile-guided balanced split of a volume
+// restricted to the allowed providers: proportional to per-device volume
+// throughput, then hill-climbed on the true per-part compute latency. Used
+// for warm-start episodes.
+func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool) []int {
+	n := env.NumProviders()
+	full := cnn.RowRange{Lo: 0, Hi: h}
+	weights := make([]float64, n)
+	for i, d := range env.Devices {
+		if !allowed[i] {
+			continue
+		}
+		lat := device.VolumeLatency(d, layers, full)
+		if lat > 0 {
+			weights[i] = 1 / lat
+		}
+	}
+	cuts := strategy.ProportionalCuts(h, weights)
+	partLat := func(cuts []int) float64 {
+		var worst float64
+		for i := 0; i < n; i++ {
+			part := strategy.CutRange(cuts, h, i)
+			lat := device.VolumeLatency(env.Devices[i], layers, part)
+			if lat > worst {
+				worst = lat
+			}
+		}
+		return worst
+	}
+	cur := partLat(cuts)
+	for iter := 0; iter < 24; iter++ {
+		improved := false
+		for ci := range cuts {
+			for _, d := range []int{-4, -1, 1, 4} {
+				cand := append([]int(nil), cuts...)
+				cand[ci] += d
+				if cand[ci] < 0 || cand[ci] > h {
+					continue
+				}
+				if ci > 0 && cand[ci] < cand[ci-1] {
+					continue
+				}
+				if ci+1 < len(cand) && cand[ci] > cand[ci+1] {
+					continue
+				}
+				if l := partLat(cand); l < cur {
+					cuts, cur = cand, l
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cuts
+}
+
+// numWarmCandidates is the number of distinct warm-start strategy families
+// tried before DDPG exploration takes over.
+const numWarmCandidates = 4
+
+// warmCuts returns the cut points for warm-start candidate `kind` on one
+// volume. The candidates cover the strategy families the optimum tends to
+// live in, so the best-strategy tracker starts from a strong anchor:
+//
+//	0 — compute-balanced across all providers
+//	1 — everything on the single fastest provider (offload-shaped)
+//	2 — balanced across the fastest half of the providers
+//	3 — balanced across the fastest two providers
+func warmCuts(env *sim.Env, layers []cnn.Layer, h, kind int) []int {
+	n := env.NumProviders()
+	full := cnn.RowRange{Lo: 0, Hi: h}
+	lats := make([]float64, n)
+	order := make([]int, n)
+	for i, d := range env.Devices {
+		lats[i] = device.VolumeLatency(d, layers, full)
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return lats[order[a]] < lats[order[b]] })
+
+	allow := func(k int) []bool {
+		allowed := make([]bool, n)
+		for _, i := range order[:k] {
+			allowed[i] = true
+		}
+		return allowed
+	}
+	switch kind {
+	case 1:
+		return strategy.AllOnProvider(h, n, order[0])
+	case 2:
+		k := (n + 1) / 2
+		if k < 1 {
+			k = 1
+		}
+		return balancedCutsSubset(env, layers, h, allow(k))
+	case 3:
+		k := 2
+		if k > n {
+			k = n
+		}
+		return balancedCutsSubset(env, layers, h, allow(k))
+	default:
+		return balancedCuts(env, layers, h)
+	}
+}
+
+// runEpisode plays one episode (Alg. 2 lines 6-23) and returns the
+// end-to-end latency. warmKind >= 0 selects a warm-start candidate family;
+// otherwise actions follow the ε-schedule.
+func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *strategy.Strategy) {
+	numVol := len(t.boundaries) - 1
+	at := t.rng.Float64() * 300 // sample a trace instant
+	x := sim.NewExec(t.env, t.boundaries, at)
+	sigma := math.Sqrt(t.cfg.SigmaSq)
+
+	splits := make([][]int, 0, numVol)
+	type pending struct {
+		s, a []float64
+		s2   []float64
+		done bool
+	}
+	var trans []pending
+	for v := 0; v < numVol; v++ {
+		vol := strategy.Volume(t.env.Model, t.boundaries, v)
+		h := vol[len(vol)-1].OutHeight()
+		st := t.state(x.Accumulated(), vol)
+
+		var raw []float64
+		switch {
+		case warmKind >= 0:
+			cuts := warmCuts(t.env, vol, h, warmKind)
+			raw = actionFromCuts(cuts, h)
+			for i := range raw {
+				raw[i] += 0.01 * t.rng.NormFloat64()
+			}
+		case t.rng.Float64() < eps:
+			raw = t.agent.NoisyAction(st, sigma)
+		default:
+			raw = t.agent.Action(st)
+		}
+		cuts := mapAction(raw, h)
+		splits = append(splits, cuts)
+		x.Step(cuts)
+
+		p := pending{s: st, a: raw}
+		if v == numVol-1 {
+			p.done = true
+			p.s2 = make([]float64, len(st))
+		} else {
+			next := strategy.Volume(t.env.Model, t.boundaries, v+1)
+			p.s2 = t.state(x.Accumulated(), next)
+		}
+		trans = append(trans, p)
+	}
+	latency, _, err := x.Finish()
+	if err != nil || latency <= 0 {
+		return math.Inf(1), nil
+	}
+	// Rewards: 0 for intermediate steps, 1/T at the terminal step (Eq. 8),
+	// scaled so typical returns are O(1).
+	for i, p := range trans {
+		r := 0.0
+		if p.done {
+			r = t.latScale / latency
+		}
+		t.agent.Buf.Add(rl.Transition{State: p.s, Action: p.a, Reward: r, NextState: p.s2, Done: p.done})
+		if train && (i+t.episode)%t.cfg.UpdateEvery == 0 {
+			t.agent.Update(t.cfg.Batch)
+		}
+	}
+	return latency, &strategy.Strategy{Boundaries: t.boundaries, Splits: splits}
+}
+
+// Run trains for the configured number of episodes, tracking the best
+// strategy observed.
+func (t *Trainer) Run() *Result {
+	warmEpisodes := 0
+	if t.cfg.WarmStart {
+		warmEpisodes = numWarmCandidates
+		if warmEpisodes > t.cfg.Episodes/2 {
+			warmEpisodes = t.cfg.Episodes / 2
+		}
+	}
+	for ep := 0; ep < t.cfg.Episodes; ep++ {
+		e := float64(ep) * t.cfg.DeltaEps
+		eps := 1 - e*e
+		if eps < 0.05 {
+			eps = 0.05
+		}
+		warmKind := -1
+		if ep < warmEpisodes {
+			warmKind = ep % numWarmCandidates
+		}
+		lat, strat := t.runEpisode(eps, warmKind, true)
+		t.hist = append(t.hist, lat)
+		if strat != nil && lat < t.bestT {
+			t.bestT = lat
+			t.best = strat
+		}
+		t.episode++
+	}
+	return &Result{Strategy: t.best, BestLatency: t.bestT, Episodes: append([]float64(nil), t.hist...)}
+}
+
+// Best returns the best strategy and latency observed so far.
+func (t *Trainer) Best() (*strategy.Strategy, float64) { return t.best, t.bestT }
+
+// Finetune re-targets the trainer at a changed environment (e.g. new
+// network conditions, Section V-F) and trains for a few extra episodes,
+// reusing the learned actor/critic. The best-strategy tracker is reset
+// because old latencies are no longer comparable.
+func (t *Trainer) Finetune(env *sim.Env, episodes int) *Result {
+	t.env = env
+	t.deriveScales()
+	t.best = nil
+	t.bestT = math.Inf(1)
+	t.hist = nil
+	warm := 0
+	if t.cfg.WarmStart {
+		warm = numWarmCandidates
+		if warm > episodes/2 {
+			warm = episodes / 2
+		}
+		if warm < 1 && episodes > 0 {
+			warm = 1
+		}
+	}
+	for ep := 0; ep < episodes; ep++ {
+		warmKind := -1
+		if ep < warm {
+			warmKind = ep % numWarmCandidates
+		}
+		lat, strat := t.runEpisode(0.3, warmKind, true)
+		t.hist = append(t.hist, lat)
+		if strat != nil && lat < t.bestT {
+			t.bestT = lat
+			t.best = strat
+		}
+		t.episode++
+	}
+	return &Result{Strategy: t.best, BestLatency: t.bestT, Episodes: append([]float64(nil), t.hist...)}
+}
+
+// Search is the one-shot convenience API: train a fresh agent and return
+// the best strategy found (Algorithm 2 end-to-end).
+func Search(env *sim.Env, boundaries []int, cfg Config) (*Result, error) {
+	tr, err := NewTrainer(env, boundaries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := tr.Run()
+	if res.Strategy == nil {
+		return nil, fmt.Errorf("splitter: no valid strategy found")
+	}
+	return res, nil
+}

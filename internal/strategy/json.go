@@ -1,0 +1,54 @@
+package strategy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"distredge/internal/cnn"
+)
+
+// fileFormat is the on-disk representation of a strategy, versioned so
+// saved plans stay loadable.
+type fileFormat struct {
+	Version    int     `json:"version"`
+	Model      string  `json:"model,omitempty"`
+	Boundaries []int   `json:"boundaries"`
+	Splits     [][]int `json:"splits"`
+}
+
+// currentVersion of the strategy file format.
+const currentVersion = 1
+
+// MarshalJSON renders the strategy (with an optional model name for
+// provenance) as a stable, versioned JSON document.
+func MarshalJSON(s *Strategy, modelName string) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("strategy: nil strategy")
+	}
+	return json.MarshalIndent(fileFormat{
+		Version:    currentVersion,
+		Model:      modelName,
+		Boundaries: s.Boundaries,
+		Splits:     s.Splits,
+	}, "", "  ")
+}
+
+// UnmarshalJSON parses a strategy document and validates it against the
+// model and provider count it will run on.
+func UnmarshalJSON(data []byte, m *cnn.Model, providers int) (*Strategy, error) {
+	var f fileFormat
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("strategy: %w", err)
+	}
+	if f.Version != currentVersion {
+		return nil, fmt.Errorf("strategy: unsupported file version %d", f.Version)
+	}
+	s := &Strategy{Boundaries: f.Boundaries, Splits: f.Splits}
+	if err := s.Validate(m, providers); err != nil {
+		return nil, err
+	}
+	if f.Model != "" && f.Model != m.Name {
+		return nil, fmt.Errorf("strategy: plan was saved for model %q, not %q", f.Model, m.Name)
+	}
+	return s, nil
+}

@@ -1,0 +1,64 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	data, err := MarshalJSON(s, m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Errorf("missing version: %s", data)
+	}
+	back, err := UnmarshalJSON(data, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Boundaries) != len(s.Boundaries) {
+		t.Fatalf("boundaries lost: %v vs %v", back.Boundaries, s.Boundaries)
+	}
+	for v := range s.Splits {
+		for i := range s.Splits[v] {
+			if back.Splits[v][i] != s.Splits[v][i] {
+				t.Fatal("splits corrupted in round trip")
+			}
+		}
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	m := cnn.VGG16()
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"wrong version": `{"version": 99, "boundaries": [0, 18], "splits": [[1,2,3]]}`,
+		"wrong model":   `{"version": 1, "model": "resnet50", "boundaries": [0, 18], "splits": [[1,2,3]]}`,
+		"invalid plan":  `{"version": 1, "boundaries": [0, 999], "splits": [[1,2,3]]}`,
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalJSON([]byte(data), m, 4); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := MarshalJSON(nil, "x"); err == nil {
+		t.Error("nil strategy must error")
+	}
+}
+
+func TestJSONWrongProviderCount(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	data, err := MarshalJSON(s, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalJSON(data, m, 8); err == nil {
+		t.Error("provider-count mismatch must be rejected")
+	}
+}

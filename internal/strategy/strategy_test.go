@@ -1,0 +1,214 @@
+package strategy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distredge/internal/cnn"
+)
+
+func TestCutRangeCoverage(t *testing.T) {
+	// Property: for any sorted cuts, the part ranges tile [0,h) exactly.
+	f := func(raw [3]uint8, hRaw uint8) bool {
+		h := int(hRaw)%200 + 1
+		cuts := []int{int(raw[0]) % (h + 1), int(raw[1]) % (h + 1), int(raw[2]) % (h + 1)}
+		if cuts[1] < cuts[0] {
+			cuts[0], cuts[1] = cuts[1], cuts[0]
+		}
+		if cuts[2] < cuts[1] {
+			cuts[1], cuts[2] = cuts[2], cuts[1]
+		}
+		if cuts[1] < cuts[0] {
+			cuts[0], cuts[1] = cuts[1], cuts[0]
+		}
+		total := 0
+		prevHi := 0
+		for i := 0; i < 4; i++ {
+			r := CutRange(cuts, h, i)
+			if r.Lo != prevHi {
+				return false
+			}
+			prevHi = r.Hi
+			total += r.Len()
+		}
+		return total == h && prevHi == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualCuts(t *testing.T) {
+	cuts := EqualCuts(100, 4)
+	want := []int{25, 50, 75}
+	for i, c := range cuts {
+		if c != want[i] {
+			t.Fatalf("EqualCuts = %v, want %v", cuts, want)
+		}
+	}
+	if len(EqualCuts(7, 1)) != 0 {
+		t.Error("single provider needs no cuts")
+	}
+	// Parts must differ by at most 1 row.
+	h, n := 13, 4
+	cuts = EqualCuts(h, n)
+	for i := 0; i < n; i++ {
+		l := CutRange(cuts, h, i).Len()
+		if l < h/n || l > h/n+1 {
+			t.Errorf("equal part %d has %d rows of %d", i, l, h)
+		}
+	}
+}
+
+func TestProportionalCuts(t *testing.T) {
+	cuts := ProportionalCuts(100, []float64{1, 1, 2})
+	if r := CutRange(cuts, 100, 2); r.Len() != 50 {
+		t.Errorf("weight-2 part got %d rows, want 50", r.Len())
+	}
+	// Zero-weight providers get nothing.
+	cuts = ProportionalCuts(100, []float64{0, 1})
+	if r := CutRange(cuts, 100, 0); !r.Empty() {
+		t.Errorf("zero-weight part got %v", r)
+	}
+	// All-zero weights: everything lands on provider 0.
+	cuts = ProportionalCuts(100, []float64{0, 0, 0})
+	if r := CutRange(cuts, 100, 0); r.Len() != 100 {
+		t.Errorf("degenerate weights: provider 0 got %d rows", r.Len())
+	}
+	// Negative weights are treated as zero.
+	cuts = ProportionalCuts(100, []float64{-5, 1})
+	if r := CutRange(cuts, 100, 0); !r.Empty() {
+		t.Errorf("negative-weight part got %v", r)
+	}
+}
+
+func TestProportionalCutsMonotone(t *testing.T) {
+	f := func(a, b, c, d uint8, hRaw uint16) bool {
+		h := int(hRaw)%300 + 1
+		w := []float64{float64(a), float64(b), float64(c), float64(d)}
+		cuts := ProportionalCuts(h, w)
+		prev := 0
+		for _, x := range cuts {
+			if x < prev || x > h {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllOnProvider(t *testing.T) {
+	h, n := 50, 4
+	for p := 0; p < n; p++ {
+		cuts := AllOnProvider(h, n, p)
+		for i := 0; i < n; i++ {
+			r := CutRange(cuts, h, i)
+			if i == p && r.Len() != h {
+				t.Errorf("provider %d should own all rows, got %v", p, r)
+			}
+			if i != p && !r.Empty() {
+				t.Errorf("provider %d should be empty, got %v", i, r)
+			}
+		}
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	m := cnn.VGG16()
+	lbl := LayerByLayer(m)
+	if len(lbl) != m.NumSplittable()+1 {
+		t.Errorf("LayerByLayer has %d boundaries", len(lbl))
+	}
+	sv := SingleVolume(m)
+	if len(sv) != 2 || sv[1] != m.NumSplittable() {
+		t.Errorf("SingleVolume = %v", sv)
+	}
+	pb := PoolBoundaries(m)
+	// VGG-16 has 5 pools; the last pool is the final layer, so 4 interior
+	// boundaries + the two ends.
+	if len(pb) != 6 {
+		t.Errorf("PoolBoundaries = %v, want 6 entries", pb)
+	}
+	if pb[0] != 0 || pb[len(pb)-1] != m.NumSplittable() {
+		t.Errorf("PoolBoundaries must span the model: %v", pb)
+	}
+}
+
+func validStrategy(m *cnn.Model, providers int) *Strategy {
+	b := PoolBoundaries(m)
+	s := &Strategy{Boundaries: b}
+	for v := 0; v < len(b)-1; v++ {
+		h := VolumeHeight(m, b, v)
+		s.Splits = append(s.Splits, EqualCuts(h, providers))
+	}
+	return s
+}
+
+func TestValidateAccepts(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	if err := s.Validate(m, 4); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	m := cnn.VGG16()
+	n := m.NumSplittable()
+	cases := []*Strategy{
+		{Boundaries: []int{0}},                                     // too few boundaries
+		{Boundaries: []int{1, n}, Splits: [][]int{{1, 2, 3}}},      // must start at 0
+		{Boundaries: []int{0, n - 1}, Splits: [][]int{{1, 2, 3}}},  // must end at n
+		{Boundaries: []int{0, 5, 5, n}, Splits: make([][]int, 3)},  // empty volume
+		{Boundaries: []int{0, 9, 5, n}, Splits: make([][]int, 3)},  // unsorted
+		{Boundaries: []int{0, n}, Splits: [][]int{}},               // missing splits
+		{Boundaries: []int{0, n}, Splits: [][]int{{1, 2}}},         // wrong cut count
+		{Boundaries: []int{0, n}, Splits: [][]int{{3, 2, 5}}},      // unsorted cuts
+		{Boundaries: []int{0, n}, Splits: [][]int{{1, 2, 10_000}}}, // cut beyond H
+	}
+	for i, s := range cases {
+		if err := s.Validate(m, 4); err == nil {
+			t.Errorf("case %d: invalid strategy accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	c := s.Clone()
+	c.Boundaries[0] = 99
+	c.Splits[0][0] = 99
+	if s.Boundaries[0] == 99 || s.Splits[0][0] == 99 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestNumProviders(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	if s.NumProviders() != 4 {
+		t.Errorf("NumProviders = %d, want 4", s.NumProviders())
+	}
+	if (&Strategy{}).NumProviders() != 0 {
+		t.Error("empty strategy has no providers")
+	}
+}
+
+func TestPartRange(t *testing.T) {
+	m := cnn.VGG16()
+	s := validStrategy(m, 4)
+	for v := 0; v < s.NumVolumes(); v++ {
+		total := 0
+		for i := 0; i < 4; i++ {
+			total += s.PartRange(m, v, i).Len()
+		}
+		if total != VolumeHeight(m, s.Boundaries, v) {
+			t.Errorf("volume %d parts do not tile the height", v)
+		}
+	}
+}

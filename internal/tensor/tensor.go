@@ -1,0 +1,202 @@
+// Package tensor provides the dense float64 matrix operations the neural
+// network and DDPG packages are built on. Matrices are row-major; rows are
+// samples in minibatch operations.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	A    []float64
+}
+
+// New returns a zeroed RxC matrix.
+func New(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, A: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c, row-major) in a matrix without copying.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: %d values for %dx%d matrix", len(data), r, c))
+	}
+	return &Mat{R: r, C: c, A: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.A[i*m.C+j] }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, v float64) { m.A[i*m.C+j] = v }
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.A[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := New(m.R, m.C)
+	copy(c.A, m.A)
+	return c
+}
+
+// Zero clears all elements in place.
+func (m *Mat) Zero() {
+	for i := range m.A {
+		m.A[i] = 0
+	}
+}
+
+// Randomize fills the matrix with U(-scale, scale) values.
+func (m *Mat) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.A {
+		m.A[i] = (2*rng.Float64() - 1) * scale
+	}
+}
+
+// MulAB returns a·b for a (m×k) and b (k×n).
+func MulAB(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: MulAB %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABT returns a·bᵀ for a (m×k) and b (n×k).
+func MulABT(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("tensor: MulABT %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulATB returns aᵀ·b for a (k×m) and b (k×n).
+func MulATB(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: MulATB (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddRowVec adds vector v to every row of m in place (bias broadcast).
+func (m *Mat) AddRowVec(v []float64) {
+	if len(v) != m.C {
+		panic(fmt.Sprintf("tensor: AddRowVec len %d to %d cols", len(v), m.C))
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// SumRows returns the column-wise sum of m (gradient of a broadcast bias).
+func (m *Mat) SumRows() []float64 {
+	out := make([]float64, m.C)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Apply replaces every element x with f(x) in place and returns m.
+func (m *Mat) Apply(f func(float64) float64) *Mat {
+	for i, v := range m.A {
+		m.A[i] = f(v)
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Mat) Scale(s float64) *Mat {
+	for i := range m.A {
+		m.A[i] *= s
+	}
+	return m
+}
+
+// AddScaled performs m += s*o element-wise in place.
+func (m *Mat) AddScaled(o *Mat, s float64) {
+	if m.R != o.R || m.C != o.C {
+		panic(fmt.Sprintf("tensor: AddScaled %dx%d += %dx%d", m.R, m.C, o.R, o.C))
+	}
+	for i, v := range o.A {
+		m.A[i] += s * v
+	}
+}
+
+// HStack concatenates a and b column-wise (same row count).
+func HStack(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("tensor: HStack %dx%d | %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, a.C+b.C)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i)[:a.C], a.Row(i))
+		copy(out.Row(i)[a.C:], b.Row(i))
+	}
+	return out
+}
+
+// Cols returns a copy of columns [lo,hi) of m.
+func (m *Mat) Cols(lo, hi int) *Mat {
+	if lo < 0 || hi > m.C || lo > hi {
+		panic(fmt.Sprintf("tensor: Cols [%d,%d) of %d", lo, hi, m.C))
+	}
+	out := New(m.R, hi-lo)
+	for i := 0; i < m.R; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulAB(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MulAB(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.A[i] != v {
+			t.Fatalf("MulAB = %v, want %v", c.A, want)
+		}
+	}
+}
+
+func TestMulVariantsAgree(t *testing.T) {
+	// Property: MulABT(a,b) == MulAB(a, bᵀ) and MulATB(a,b) == MulAB(aᵀ, b).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a := New(m, k)
+		a.Randomize(rng, 1)
+		b := New(n, k)
+		b.Randomize(rng, 1)
+		bt := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		x := MulABT(a, b)
+		y := MulAB(a, bt)
+		for i := range x.A {
+			if math.Abs(x.A[i]-y.A[i]) > 1e-12 {
+				t.Fatal("MulABT disagrees with MulAB on transposed operand")
+			}
+		}
+		c := New(k, m)
+		c.Randomize(rng, 1)
+		ct := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				ct.Set(j, i, c.At(i, j))
+			}
+		}
+		d := New(k, n)
+		d.Randomize(rng, 1)
+		x = MulATB(c, d)
+		y = MulAB(ct, d)
+		for i := range x.A {
+			if math.Abs(x.A[i]-y.A[i]) > 1e-12 {
+				t.Fatal("MulATB disagrees with MulAB on transposed operand")
+			}
+		}
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	f := func(vals [6]int8) bool {
+		a := New(2, 3)
+		for i := range vals {
+			a.A[i] = float64(vals[i])
+		}
+		id := FromSlice(3, 3, []float64{1, 0, 0, 0, 1, 0, 0, 0, 1})
+		c := MulAB(a, id)
+		for i := range a.A {
+			if c.A[i] != a.A[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRowVecAndSumRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.AddRowVec([]float64{10, 20, 30})
+	if m.At(0, 0) != 11 || m.At(1, 2) != 36 {
+		t.Fatalf("AddRowVec wrong: %v", m.A)
+	}
+	s := m.SumRows()
+	if s[0] != 25 || s[1] != 47 || s[2] != 69 {
+		t.Fatalf("SumRows = %v", s)
+	}
+}
+
+func TestHStackCols(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 1, []float64{9, 8})
+	c := HStack(a, b)
+	if c.C != 3 || c.At(0, 2) != 9 || c.At(1, 2) != 8 {
+		t.Fatalf("HStack wrong: %v", c.A)
+	}
+	d := c.Cols(1, 3)
+	if d.C != 2 || d.At(0, 0) != 2 || d.At(1, 1) != 8 {
+		t.Fatalf("Cols wrong: %v", d.A)
+	}
+}
+
+func TestApplyScaleAddScaled(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, -2, 3})
+	m.Apply(math.Abs).Scale(2)
+	if m.A[1] != 4 {
+		t.Fatalf("Apply/Scale wrong: %v", m.A)
+	}
+	o := FromSlice(1, 3, []float64{1, 1, 1})
+	m.AddScaled(o, 0.5)
+	if m.A[0] != 2.5 {
+		t.Fatalf("AddScaled wrong: %v", m.A)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.A[0] = 99
+	if a.A[0] == 99 {
+		t.Error("Clone must deep-copy")
+	}
+	a.Zero()
+	if a.A[1] != 0 {
+		t.Error("Zero must clear")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("MulAB shape", func() { MulAB(New(2, 3), New(2, 3)) })
+	assertPanics("MulABT shape", func() { MulABT(New(2, 3), New(2, 4)) })
+	assertPanics("MulATB shape", func() { MulATB(New(2, 3), New(3, 3)) })
+	assertPanics("FromSlice len", func() { FromSlice(2, 2, []float64{1}) })
+	assertPanics("AddRowVec len", func() { New(1, 2).AddRowVec([]float64{1}) })
+	assertPanics("HStack rows", func() { HStack(New(1, 2), New(2, 2)) })
+	assertPanics("Cols range", func() { New(1, 2).Cols(1, 5) })
+	assertPanics("AddScaled shape", func() { New(1, 2).AddScaled(New(2, 1), 1) })
+	assertPanics("negative dims", func() { New(-1, 2) })
+}

@@ -1,0 +1,30 @@
+package distredge
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProviders parses the "type:bandwidthMbps,type:bandwidthMbps,..."
+// provider syntax shared by the command-line tools, e.g.
+// "xavier:200,nano:100,pi3:50".
+func ParseProviders(spec string) ([]Provider, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("distredge: empty provider spec")
+	}
+	var out []Provider
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		bits := strings.Split(part, ":")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("distredge: bad provider %q (want type:bandwidthMbps)", part)
+		}
+		bw, err := strconv.ParseFloat(bits[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("distredge: bad bandwidth in %q: %v", part, err)
+		}
+		out = append(out, Provider{Type: strings.TrimSpace(bits[0]), BandwidthMbps: bw})
+	}
+	return out, nil
+}
