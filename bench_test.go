@@ -251,21 +251,47 @@ func benchEnv() *sim.Env {
 	return &sim.Env{Model: cnn.VGG16(), Devices: device.AsModels(devs), Net: net}
 }
 
-// BenchmarkSimLatency measures one end-to-end latency evaluation — the
-// inner loop of both OSDS training and streaming measurements.
-func BenchmarkSimLatency(b *testing.B) {
-	env := benchEnv()
+// benchStrategy builds the fixed three-volume strategy the micro-benchmarks
+// evaluate.
+func benchStrategy(env *sim.Env) *strategy.Strategy {
 	boundaries := []int{0, 10, 14, 18}
 	s := &strategy.Strategy{Boundaries: boundaries}
 	for v := 0; v+1 < len(boundaries); v++ {
 		h := strategy.VolumeHeight(env.Model, boundaries, v)
 		s.Splits = append(s.Splits, strategy.EqualCuts(h, 4))
 	}
+	return s
+}
+
+// BenchmarkSimLatency measures one end-to-end latency evaluation — the
+// inner loop of both OSDS training and streaming measurements.
+func BenchmarkSimLatency(b *testing.B) {
+	env := benchEnv()
+	s := benchStrategy(env)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := env.Latency(s, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStream measures a 500-image streaming evaluation on a constant
+// network — the workload behind every IPS figure. On time-invariant
+// networks the steady-state fast path extrapolates after convergence, so
+// this also tracks that the extrapolation stays engaged.
+func BenchmarkStream(b *testing.B) {
+	env := benchEnv()
+	s := benchStrategy(env)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.Stream(s, 500, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPS, "IPS")
 	}
 }
 
@@ -284,6 +310,7 @@ func BenchmarkLCPSS(b *testing.B) {
 // BenchmarkOSDSSearch measures a short OSDS training run.
 func BenchmarkOSDSSearch(b *testing.B) {
 	env := benchEnv()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := splitter.Search(env, []int{0, 10, 14, 18}, splitter.Config{
 			Episodes: 20, Hidden: []int{16, 16}, Batch: 16, Seed: 1, WarmStart: true,
@@ -309,6 +336,7 @@ func BenchmarkDDPGUpdate(b *testing.B) {
 			Done:      i%6 == 5,
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.Update(64)

@@ -29,6 +29,7 @@ func main() {
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
+	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -46,6 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	b.Seed = *seed
+	b.Parallel = *parallel
 
 	figs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 	if *fig != "all" {

@@ -1,0 +1,3 @@
+module distredge
+
+go 1.24

@@ -77,6 +77,24 @@ func VolumeRanges(layers []Layer, out RowRange) []RowRange {
 	return res
 }
 
+// VolumeRangesInto is VolumeRanges writing into a caller-provided buffer,
+// growing it if needed — the allocation-free form used by hot paths (the
+// device latency cache, plan compilation). The returned slice has
+// len(layers) entries and aliases dst when it was large enough.
+func VolumeRangesInto(dst []RowRange, layers []Layer, out RowRange) []RowRange {
+	n := len(layers)
+	if cap(dst) < n {
+		dst = make([]RowRange, n)
+	}
+	dst = dst[:n]
+	cur := out
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = cur
+		cur = InputRows(layers[i], cur)
+	}
+	return dst
+}
+
 // VolumeInputRows returns the input row range (on the volume's input tensor)
 // required for the last layer of the volume to produce out.
 func VolumeInputRows(layers []Layer, out RowRange) RowRange {

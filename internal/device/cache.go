@@ -1,0 +1,83 @@
+package device
+
+import (
+	"sync"
+
+	"distredge/internal/cnn"
+)
+
+// cacheKey identifies one VolumeLatency evaluation: the device (by index in
+// its environment), the layer-volume (by slice identity — volumes are views
+// into a model's shared layer array, so the first-element pointer plus the
+// length pin down the exact layers) and the output row range.
+type cacheKey struct {
+	dev    int
+	first  *cnn.Layer
+	n      int
+	lo, hi int
+}
+
+// CacheStats reports the hit/miss counts of a Cache.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// Cache memoizes VolumeLatency values per (device, volume, row-range) tuple.
+// VolumeLatency is a pure function of those inputs, and during OSDS training
+// the same tuples recur across episodes (warm-start hill climbing alone
+// re-evaluates thousands of them), so memoization turns the dominant
+// simulator compute cost into a map lookup. A Cache is safe for concurrent
+// use; cached values are bit-identical to direct evaluation.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]float64
+	scratch []cnn.RowRange
+	stats   CacheStats
+}
+
+// NewCache returns an empty latency cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]float64)}
+}
+
+// VolumeLatency returns VolumeLatency(m, layers, out), memoized under the
+// (dev, layers, out) key. dev must consistently identify m across calls
+// (e.g. the provider index in a sim.Env).
+func (c *Cache) VolumeLatency(dev int, m LatencyModel, layers []cnn.Layer, out cnn.RowRange) float64 {
+	if out.Empty() {
+		return 0
+	}
+	k := cacheKey{dev: dev, first: &layers[0], n: len(layers), lo: out.Lo, hi: out.Hi}
+	c.mu.Lock()
+	if v, ok := c.entries[k]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return v
+	}
+	c.stats.Misses++
+	// Compute under the lock so the scratch buffer can be reused; volumes
+	// are short (tens of layers) and contention is nil in practice — every
+	// environment owns its own cache.
+	c.scratch = cnn.VolumeRangesInto(c.scratch, layers, out)
+	var sum float64
+	for i, l := range layers {
+		sum += m.ComputeLatency(l, c.scratch[i].Len())
+	}
+	c.entries[k] = sum
+	c.mu.Unlock()
+	return sum
+}
+
+// Stats returns the cumulative hit/miss counts.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

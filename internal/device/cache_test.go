@@ -1,0 +1,80 @@
+package device
+
+import (
+	"sync"
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+func cacheTestLayers(t *testing.T) []cnn.Layer {
+	t.Helper()
+	b := cnn.NewBuilder("cache-test", 64, 64, 3)
+	b = b.Conv("c1", 16, 3, 1, 1).Conv("c2", 16, 3, 1, 1).Pool("p1", 2, 2)
+	m := b.MustBuild()
+	return m.SplittableLayers()
+}
+
+func TestCacheMatchesDirectEvaluation(t *testing.T) {
+	layers := cacheTestLayers(t)
+	dev := MustNew(Xavier, "x0")
+	c := NewCache()
+	for _, r := range []cnn.RowRange{{Lo: 0, Hi: 32}, {Lo: 5, Hi: 19}, {Lo: 0, Hi: 0}, {Lo: 31, Hi: 32}} {
+		want := VolumeLatency(dev, layers, r)
+		for i := 0; i < 3; i++ { // hit the memo repeatedly
+			if got := c.VolumeLatency(0, dev, layers, r); got != want {
+				t.Errorf("range %v: cached %.17g != direct %.17g", r, got, want)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 3 { // three non-empty distinct ranges
+		t.Errorf("misses = %d, want 3", st.Misses)
+	}
+	if st.Hits != 6 {
+		t.Errorf("hits = %d, want 6", st.Hits)
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheKeysDistinguishDevicesAndVolumes(t *testing.T) {
+	layers := cacheTestLayers(t)
+	fast := MustNew(Xavier, "x0")
+	slow := MustNew(Pi3, "p0")
+	c := NewCache()
+	r := cnn.RowRange{Lo: 0, Hi: 16}
+	a := c.VolumeLatency(0, fast, layers, r)
+	b := c.VolumeLatency(1, slow, layers, r)
+	if a == b {
+		t.Error("different devices returned the same cached latency")
+	}
+	// A sub-volume sharing the first layer must not collide with the full
+	// volume (length is part of the key).
+	sub := c.VolumeLatency(0, fast, layers[:1], r)
+	if sub == a {
+		t.Error("sub-volume collided with full volume in the cache")
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	layers := cacheTestLayers(t)
+	dev := MustNew(TX2, "t0")
+	c := NewCache()
+	want := VolumeLatency(dev, layers, cnn.RowRange{Lo: 0, Hi: 24})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := c.VolumeLatency(0, dev, layers, cnn.RowRange{Lo: 0, Hi: 24}); got != want {
+					t.Errorf("concurrent cached value %.17g != %.17g", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"distredge/internal/baselines"
 	"distredge/internal/cnn"
@@ -90,39 +91,45 @@ func fig5Specs(seed int64) []Spec {
 
 // Fig05AlphaSweep regenerates Fig. 5: DistrEdge IPS for
 // α ∈ {0, 0.25, 0.5, 0.75, 1} across the four environment families.
-// The paper finds α=0.75 best everywhere and the extremes poor.
+// The paper finds α=0.75 best everywhere and the extremes poor. The
+// case×α grid runs on the budget's worker pool; each cell rebuilds its
+// environment from the spec, so rows are identical for any worker count.
 func Fig05AlphaSweep(b Budget, cases int) ([]AlphaRow, error) {
 	specs := fig5Specs(b.Seed)
 	if cases > 0 && cases < len(specs) {
 		specs = specs[:cases]
 	}
 	alphas := []float64{0, 0.25, 0.5, 0.75, 1}
-	var rows []AlphaRow
-	for _, spec := range specs {
+	rows := make([]AlphaRow, len(specs)*len(alphas))
+	err := runIndexed(len(rows), b.Workers(), func(i int) error {
+		spec := specs[i/len(alphas)]
+		alpha := alphas[i%len(alphas)]
 		env := spec.Env()
-		for _, alpha := range alphas {
-			boundaries, err := partition.Search(env.Model, partition.Config{
-				Alpha:           alpha,
-				NumRandomSplits: b.RandomSplits,
-				Providers:       env.NumProviders(),
-				Seed:            b.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := splitter.Search(env, boundaries, osdsConfig(b, env.NumProviders(), b.Seed))
-			if err != nil {
-				return nil, err
-			}
-			stream, err := env.Stream(res.Strategy, b.StreamImages, 0)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AlphaRow{
-				Case: spec.Name, Alpha: alpha,
-				Volumes: len(boundaries) - 1, IPS: stream.IPS,
-			})
+		boundaries, err := partition.Search(env.Model, partition.Config{
+			Alpha:           alpha,
+			NumRandomSplits: b.RandomSplits,
+			Providers:       env.NumProviders(),
+			Seed:            b.Seed,
+		})
+		if err != nil {
+			return err
 		}
+		res, err := splitter.Search(env, boundaries, osdsConfig(b, env.NumProviders(), b.Seed))
+		if err != nil {
+			return err
+		}
+		stream, err := env.Stream(res.Strategy, b.StreamImages, 0)
+		if err != nil {
+			return err
+		}
+		rows[i] = AlphaRow{
+			Case: spec.Name, Alpha: alpha,
+			Volumes: len(boundaries) - 1, IPS: stream.IPS,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -142,8 +149,10 @@ type RrsRow struct {
 
 // Fig06RrsSweep regenerates Fig. 6: repeat LC-PSS with different random
 // split-decision draws and measure the IPS spread; the paper finds the
-// spread collapses for |R^r_s| >= 100. OSDS results are cached per distinct
-// partition scheme.
+// spread collapses for |R^r_s| >= 100. The case×|Rrs| grid runs on the
+// budget's worker pool; within one cell, OSDS results are cached per
+// distinct partition scheme (the OSDS seed does not depend on the rep, so
+// cached and recomputed values are identical).
 func Fig06RrsSweep(b Budget, reps int) ([]RrsRow, error) {
 	if reps <= 0 {
 		reps = 10
@@ -153,45 +162,69 @@ func Fig06RrsSweep(b Budget, reps int) ([]RrsRow, error) {
 		DeviceGroups()[1].Spec(m, 50, b.Seed),           // (a) DB, 50 Mbps
 		NetworkGroups()[0].Spec(m, device.Nano, b.Seed), // (b) NA, Nano
 	}
-	var rows []RrsRow
-	for _, spec := range cases {
+	rrsValues := []int{25, 50, 75, 100, 125, 150}
+	// One OSDS-result memo per case, shared by that case's |Rrs| cells:
+	// the same partition scheme recurs across rrs values (that collapse is
+	// the figure's point) and the memoized IPS equals the recomputed one,
+	// so sharing preserves byte-identical rows while deduplicating the
+	// expensive searches.
+	caches := make([]struct {
+		sync.Mutex
+		m map[string]float64
+	}, len(cases))
+	for i := range caches {
+		caches[i].m = map[string]float64{}
+	}
+	rows := make([]RrsRow, len(cases)*len(rrsValues))
+	err := runIndexed(len(rows), b.Workers(), func(i int) error {
+		spec := cases[i/len(rrsValues)]
+		cache := &caches[i/len(rrsValues)]
+		rrs := rrsValues[i%len(rrsValues)]
 		env := spec.Env()
-		cache := map[string]float64{}
-		for _, rrs := range []int{25, 50, 75, 100, 125, 150} {
-			minI, maxI, sum := math.Inf(1), math.Inf(-1), 0.0
-			for rep := 0; rep < reps; rep++ {
-				boundaries, err := partition.Search(env.Model, partition.Config{
-					Alpha:           0.75,
-					NumRandomSplits: rrs,
-					Providers:       env.NumProviders(),
-					Seed:            b.Seed + int64(1000*rep) + int64(rrs),
-				})
-				if err != nil {
-					return nil, err
-				}
-				key := fmt.Sprint(boundaries)
-				ips, ok := cache[key]
-				if !ok {
-					res, err := splitter.Search(env, boundaries, osdsConfig(b, env.NumProviders(), b.Seed))
-					if err != nil {
-						return nil, err
-					}
-					stream, err := env.Stream(res.Strategy, b.StreamImages, 0)
-					if err != nil {
-						return nil, err
-					}
-					ips = stream.IPS
-					cache[key] = ips
-				}
-				minI = math.Min(minI, ips)
-				maxI = math.Max(maxI, ips)
-				sum += ips
-			}
-			rows = append(rows, RrsRow{
-				Case: spec.Name, Rrs: rrs, Reps: reps,
-				MinIPS: minI, MeanIPS: sum / float64(reps), MaxIPS: maxI,
+		minI, maxI, sum := math.Inf(1), math.Inf(-1), 0.0
+		for rep := 0; rep < reps; rep++ {
+			boundaries, err := partition.Search(env.Model, partition.Config{
+				Alpha:           0.75,
+				NumRandomSplits: rrs,
+				Providers:       env.NumProviders(),
+				Seed:            b.Seed + int64(1000*rep) + int64(rrs),
 			})
+			if err != nil {
+				return err
+			}
+			key := fmt.Sprint(boundaries)
+			cache.Lock()
+			ips, ok := cache.m[key]
+			cache.Unlock()
+			if !ok {
+				// Computed outside the lock: concurrent cells may race to
+				// fill the same key, but the value is deterministic so the
+				// duplicate work is benign.
+				res, err := splitter.Search(env, boundaries, osdsConfig(b, env.NumProviders(), b.Seed))
+				if err != nil {
+					return err
+				}
+				stream, err := env.Stream(res.Strategy, b.StreamImages, 0)
+				if err != nil {
+					return err
+				}
+				ips = stream.IPS
+				cache.Lock()
+				cache.m[key] = ips
+				cache.Unlock()
+			}
+			minI = math.Min(minI, ips)
+			maxI = math.Max(maxI, ips)
+			sum += ips
 		}
+		rows[i] = RrsRow{
+			Case: spec.Name, Rrs: rrs, Reps: reps,
+			MinIPS: minI, MeanIPS: sum / float64(reps), MaxIPS: maxI,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -199,52 +232,41 @@ func Fig06RrsSweep(b Budget, reps int) ([]RrsRow, error) {
 // ------------------------------------------------------- Fig. 7 / 8 / 9
 
 // Fig07HeterogeneousDevices regenerates Fig. 7: Table I groups at 50 and
-// 300 Mbps, all methods, VGG-16.
+// 300 Mbps, all methods, VGG-16. The case×method grid runs on the budget's
+// worker pool.
 func Fig07HeterogeneousDevices(b Budget) ([]MethodRow, error) {
 	m := cnn.VGG16()
-	var rows []MethodRow
+	var specs []Spec
 	for _, bw := range []float64{50, 300} {
 		for _, g := range DeviceGroups() {
-			r, err := RunCase(g.Spec(m, bw, b.Seed), b)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r...)
+			specs = append(specs, g.Spec(m, bw, b.Seed))
 		}
 	}
-	return rows, nil
+	return RunCases(specs, b)
 }
 
 // Fig08HeterogeneousNetworks regenerates Fig. 8: Table II groups with Nano
 // and Xavier fleets, all methods, VGG-16.
 func Fig08HeterogeneousNetworks(b Budget) ([]MethodRow, error) {
 	m := cnn.VGG16()
-	var rows []MethodRow
+	var specs []Spec
 	for _, t := range []device.Type{device.Nano, device.Xavier} {
 		for _, g := range NetworkGroups() {
-			r, err := RunCase(g.Spec(m, t, b.Seed), b)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r...)
+			specs = append(specs, g.Spec(m, t, b.Seed))
 		}
 	}
-	return rows, nil
+	return RunCases(specs, b)
 }
 
 // Fig09LargeScale regenerates Fig. 9: Table III 16-device cases, all
 // methods, VGG-16.
 func Fig09LargeScale(b Budget) ([]MethodRow, error) {
 	m := cnn.VGG16()
-	var rows []MethodRow
+	var specs []Spec
 	for _, c := range LargeScaleCases() {
-		r, err := RunCase(c.Spec(m, b.Seed), b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		specs = append(specs, c.Spec(m, b.Seed))
 	}
-	return rows, nil
+	return RunCases(specs, b)
 }
 
 // ------------------------------------------------------- Fig. 10 / 11
@@ -265,33 +287,25 @@ func fig10Models() []*cnn.Model {
 // Fig10ModelsDB regenerates Fig. 10: seven further models on Group DB at
 // 50 Mbps.
 func Fig10ModelsDB(b Budget) ([]MethodRow, error) {
-	var rows []MethodRow
+	var specs []Spec
 	for _, m := range fig10Models() {
 		spec := DeviceGroups()[1].Spec(m, 50, b.Seed)
 		spec.Name = m.Name + "/DB-50Mbps"
-		r, err := RunCase(spec, b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		specs = append(specs, spec)
 	}
-	return rows, nil
+	return RunCases(specs, b)
 }
 
 // Fig11ModelsNA regenerates Fig. 11: seven further models on Group NA with
 // a Nano fleet.
 func Fig11ModelsNA(b Budget) ([]MethodRow, error) {
-	var rows []MethodRow
+	var specs []Spec
 	for _, m := range fig10Models() {
 		spec := NetworkGroups()[0].Spec(m, device.Nano, b.Seed)
 		spec.Name = m.Name + "/NA-nano"
-		r, err := RunCase(spec, b)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r...)
+		specs = append(specs, spec)
 	}
-	return rows, nil
+	return RunCases(specs, b)
 }
 
 // ---------------------------------------------------------------- Fig. 12

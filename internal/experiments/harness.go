@@ -21,6 +21,13 @@ type Budget struct {
 	RandomSplits int   // LC-PSS |R^r_s|
 	StreamImages int   // images per IPS measurement (paper: 5000)
 	Seed         int64
+
+	// Parallel is the worker-pool size for the case×method grids of the
+	// figure harnesses: 0/1 = serial, N > 1 = N workers, negative = one
+	// worker per CPU. Results are byte-identical for any value — every
+	// grid task derives its environment and seeds deterministically from
+	// its own coordinates and writes to its own result slot.
+	Parallel int
 }
 
 // Tiny is for unit tests: seconds per case.
@@ -111,37 +118,64 @@ type MethodRow struct {
 	Volumes    int
 }
 
+// runMethod plans and streams one (case, method) grid cell. The env is
+// shared by all of the case's method cells — its latency caches and plan
+// memo are concurrency-safe and bit-identical to direct evaluation, so
+// sharing keeps rows byte-identical while reaping the cache across
+// methods.
+func runMethod(env *sim.Env, spec Spec, name string, b Budget) (MethodRow, error) {
+	var s *strategy.Strategy
+	var err error
+	if name == MethodDistrEdge {
+		s, err = PlanDistrEdge(env, b, 0.75)
+	} else {
+		s, err = baselines.Plan(baselines.Method(name), env)
+	}
+	if err != nil {
+		return MethodRow{}, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
+	}
+	res, err := env.Stream(s, b.StreamImages, 0)
+	if err != nil {
+		return MethodRow{}, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
+	}
+	return MethodRow{
+		Case:       spec.Name,
+		Method:     name,
+		IPS:        res.IPS,
+		MeanLatMS:  res.MeanLatMS,
+		MaxCompMS:  res.Breakdown.MaxComp() * 1e3,
+		MaxTransMS: res.Breakdown.MaxTrans() * 1e3,
+		Volumes:    s.NumVolumes(),
+	}, nil
+}
+
+// RunCases evaluates the full case×method grid of the given specs on the
+// budget's worker pool and returns the rows in deterministic order (specs
+// in input order, methods in MethodOrder), byte-identical for any worker
+// count.
+func RunCases(specs []Spec, b Budget) ([]MethodRow, error) {
+	methods := MethodOrder()
+	envs := make([]*sim.Env, len(specs))
+	for i, spec := range specs {
+		envs[i] = spec.Env()
+	}
+	rows := make([]MethodRow, len(specs)*len(methods))
+	err := runIndexed(len(rows), b.Workers(), func(i int) error {
+		c := i / len(methods)
+		var err error
+		rows[i], err = runMethod(envs[c], specs[c], methods[i%len(methods)], b)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
 // RunCase evaluates every method of MethodOrder on the spec and returns one
 // row per method. The DistrEdge α is fixed to the paper's 0.75.
 func RunCase(spec Spec, b Budget) ([]MethodRow, error) {
-	env := spec.Env()
-	rows := make([]MethodRow, 0, len(MethodOrder()))
-	for _, name := range MethodOrder() {
-		var s *strategy.Strategy
-		var err error
-		if name == MethodDistrEdge {
-			s, err = PlanDistrEdge(env, b, 0.75)
-		} else {
-			s, err = baselines.Plan(baselines.Method(name), env)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
-		}
-		res, err := env.Stream(s, b.StreamImages, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", name, spec.Name, err)
-		}
-		rows = append(rows, MethodRow{
-			Case:       spec.Name,
-			Method:     name,
-			IPS:        res.IPS,
-			MeanLatMS:  res.MeanLatMS,
-			MaxCompMS:  res.Breakdown.MaxComp() * 1e3,
-			MaxTransMS: res.Breakdown.MaxTrans() * 1e3,
-			Volumes:    s.NumVolumes(),
-		})
-	}
-	return rows, nil
+	return RunCases([]Spec{spec}, b)
 }
 
 // BestBaselineIPS returns the best non-DistrEdge, non-Offload IPS in rows —

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+// TestRunCasesParallelDeterministic asserts the harness acceptance
+// contract: the case×method grid returns byte-identical rows for any
+// worker count.
+func TestRunCasesParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid harness in short mode")
+	}
+	m := cnn.VGG16()
+	b := Tiny()
+	specs := []Spec{
+		DeviceGroups()[1].Spec(m, 50, b.Seed),
+		DeviceGroups()[2].Spec(m, 300, b.Seed),
+	}
+	b.Parallel = 1
+	serial, err := RunCases(specs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 2*len(MethodOrder()) {
+		t.Fatalf("rows = %d, want %d", len(serial), 2*len(MethodOrder()))
+	}
+	for _, workers := range []int{3, 8, -1} {
+		b.Parallel = workers
+		par, err := RunCases(specs, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("parallel=%d rows differ from serial run", workers)
+		}
+	}
+}
+
+// TestFig05ParallelDeterministic covers the α-sweep grid the same way.
+func TestFig05ParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid harness in short mode")
+	}
+	b := Tiny()
+	b.Parallel = 1
+	serial, err := Fig05AlphaSweep(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Parallel = 4
+	par, err := Fig05AlphaSweep(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel α-sweep rows differ from serial run")
+	}
+}
+
+// TestWorkers pins the Parallel-to-workers mapping.
+func TestWorkers(t *testing.T) {
+	for _, tc := range []struct{ parallel, min int }{
+		{0, 1}, {1, 1}, {7, 7},
+	} {
+		b := Budget{Parallel: tc.parallel}
+		if got := b.Workers(); got != tc.min {
+			t.Errorf("Workers(%d) = %d, want %d", tc.parallel, got, tc.min)
+		}
+	}
+	if got := (Budget{Parallel: -1}).Workers(); got < 1 {
+		t.Errorf("Workers(-1) = %d, want >= 1", got)
+	}
+}

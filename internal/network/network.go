@@ -39,6 +39,20 @@ func (tr *Trace) ThroughputAt(t float64) float64 {
 	return tr.Mbps[slot] * 1e6
 }
 
+// TimeInvariant reports whether the trace yields the same throughput at
+// every instant (constant traces, or any trace whose samples are all equal).
+func (tr *Trace) TimeInvariant() bool {
+	if tr == nil || len(tr.Mbps) <= 1 {
+		return true
+	}
+	for _, v := range tr.Mbps[1:] {
+		if v != tr.Mbps[0] {
+			return false
+		}
+	}
+	return true
+}
+
 // Mean returns the average throughput of the trace in Mbps.
 func (tr *Trace) Mean() float64 {
 	if len(tr.Mbps) == 0 {
@@ -158,6 +172,21 @@ func NewStable(bandwidthsMbps []float64, minutes int, seed int64) *Network {
 	}
 	n.Requester = DefaultLink(Stable(maxBW, minutes, seed+7919))
 	return n
+}
+
+// TimeInvariant reports whether every link's throughput is constant over
+// time, i.e. transfer latencies do not depend on when a transfer starts.
+// Simulators use this to take the steady-state streaming fast path.
+func (n *Network) TimeInvariant() bool {
+	if !n.Requester.Trace.TimeInvariant() {
+		return false
+	}
+	for _, l := range n.Providers {
+		if !l.Trace.TimeInvariant() {
+			return false
+		}
+	}
+	return true
 }
 
 // link returns the Link of a device index (Requester = -1).

@@ -174,3 +174,32 @@ func TestNewStable(t *testing.T) {
 		}
 	}
 }
+
+func TestTimeInvariant(t *testing.T) {
+	if !Constant(100).TimeInvariant() {
+		t.Error("constant trace must be time-invariant")
+	}
+	if !(&Trace{SlotSeconds: 1, Mbps: []float64{50, 50, 50}}).TimeInvariant() {
+		t.Error("all-equal trace must be time-invariant")
+	}
+	if Stable(100, 5, 1).TimeInvariant() {
+		t.Error("stable trace with jitter must not be time-invariant")
+	}
+	var nilTrace *Trace
+	if !nilTrace.TimeInvariant() {
+		t.Error("nil trace must count as time-invariant")
+	}
+
+	flat := &Network{Requester: DefaultLink(Constant(200))}
+	for i := 0; i < 3; i++ {
+		flat.Providers = append(flat.Providers, DefaultLink(Constant(100)))
+	}
+	if !flat.TimeInvariant() {
+		t.Error("all-constant network must be time-invariant")
+	}
+	mixed := &Network{Requester: DefaultLink(Constant(200))}
+	mixed.Providers = append(mixed.Providers, DefaultLink(Stable(100, 5, 1)))
+	if mixed.TimeInvariant() {
+		t.Error("network with a jittery link must not be time-invariant")
+	}
+}

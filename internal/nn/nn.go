@@ -25,14 +25,32 @@ const (
 func (a Activation) apply(m *tensor.Mat) {
 	switch a {
 	case ReLU:
-		m.Apply(func(x float64) float64 {
-			if x < 0 {
-				return 0
-			}
-			return x
-		})
+		for i, x := range m.A {
+			m.A[i] = max(x, 0) // branchless; negatives clamp, zeros stay zero
+		}
 	case Tanh:
-		m.Apply(math.Tanh)
+		for i, x := range m.A {
+			m.A[i] = math.Tanh(x)
+		}
+	}
+}
+
+// applyDeriv multiplies delta element-wise by act'(z) expressed through the
+// activated outputs, in place. ReLU and Identity skip the multiplications
+// by exactly 1 (x*1 == x bit-for-bit), so results match the generic
+// derivFromOut loop.
+func applyDeriv(act Activation, delta, out *tensor.Mat) {
+	switch act {
+	case ReLU:
+		for i, y := range out.A {
+			if y <= 0 {
+				delta.A[i] = 0
+			}
+		}
+	case Tanh:
+		for i, y := range out.A {
+			delta.A[i] *= 1 - y*y
+		}
 	}
 }
 
@@ -95,6 +113,42 @@ type Cache struct {
 // Output returns the network output stored in the cache.
 func (c *Cache) Output() *tensor.Mat { return c.acts[len(c.acts)-1] }
 
+// Workspace holds every buffer a fixed-batch forward/backward pass through
+// one network shape needs: per-layer activations, per-layer deltas and the
+// parameter gradients. Reusing a workspace makes training steps
+// allocation-free; the math is bit-identical to the allocating paths.
+// A workspace serves any MLP with the same Sizes (e.g. a net and its
+// target copy), one pass at a time.
+type Workspace struct {
+	batch int
+	acts  []*tensor.Mat // acts[0] = input ref, acts[l+1] = output of layer l
+	delta []*tensor.Mat // delta[l] = batch × Sizes[l+1] backprop scratch
+	wt    []*tensor.Mat // wt[l] = W[l]ᵀ scratch for delta propagation
+	gin   *tensor.Mat   // batch × Sizes[0] input gradient
+	grads *Grads
+}
+
+// NewWorkspace builds a workspace for minibatches of the given row count
+// through networks shaped like m.
+func NewWorkspace(m *MLP, batch int) *Workspace {
+	ws := &Workspace{
+		batch: batch,
+		acts:  make([]*tensor.Mat, len(m.W)+1),
+		delta: make([]*tensor.Mat, len(m.W)),
+		wt:    make([]*tensor.Mat, len(m.W)),
+		gin:   tensor.New(batch, m.Sizes[0]),
+		grads: &Grads{W: make([]*tensor.Mat, len(m.W)), B: make([][]float64, len(m.W))},
+	}
+	for l := range m.W {
+		ws.acts[l+1] = tensor.New(batch, m.Sizes[l+1])
+		ws.delta[l] = tensor.New(batch, m.Sizes[l+1])
+		ws.wt[l] = tensor.New(m.Sizes[l+1], m.Sizes[l])
+		ws.grads.W[l] = tensor.New(m.Sizes[l], m.Sizes[l+1])
+		ws.grads.B[l] = make([]float64, m.Sizes[l+1])
+	}
+	return ws
+}
+
 // Forward runs a minibatch (rows = samples) through the network.
 func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
 	_, cache := m.ForwardCache(x)
@@ -121,6 +175,32 @@ func (m *MLP) ForwardCache(x *tensor.Mat) (*tensor.Mat, *Cache) {
 		cur = z
 	}
 	return cur, cache
+}
+
+// ForwardWS runs a minibatch through the network into the workspace's
+// activation buffers, allocating nothing. The returned output and the
+// cached activations are valid until the workspace's next forward pass.
+func (m *MLP) ForwardWS(ws *Workspace, x *tensor.Mat) *tensor.Mat {
+	if x.C != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: input width %d, want %d", x.C, m.Sizes[0]))
+	}
+	if x.R != ws.batch {
+		panic(fmt.Sprintf("nn: batch %d, workspace built for %d", x.R, ws.batch))
+	}
+	ws.acts[0] = x
+	cur := x
+	for l := range m.W {
+		z := ws.acts[l+1]
+		tensor.MulABInto(z, cur, m.W[l])
+		z.AddRowVec(m.B[l])
+		if l == len(m.W)-1 {
+			m.OutAct.apply(z)
+		} else {
+			m.HiddenAct.apply(z)
+		}
+		cur = z
+	}
+	return cur
 }
 
 // Grads holds parameter gradients matching an MLP's weights and biases.
@@ -155,6 +235,66 @@ func (m *MLP) Backward(cache *Cache, gradOut *tensor.Mat) (*tensor.Mat, *Grads) 
 		gradIn = tensor.MulABT(delta, m.W[0])
 	}
 	return gradIn, g
+}
+
+// BackwardWS backpropagates gradOut through the activations cached by the
+// workspace's last ForwardWS call and returns the parameter gradients,
+// allocating nothing. Unlike Backward it does not compute the input
+// gradient — use BackwardInputWS when only that is needed (DDPG's dQ/da).
+// The returned gradients alias workspace buffers and are valid until the
+// next backward call on this workspace.
+func (m *MLP) BackwardWS(ws *Workspace, gradOut *tensor.Mat) *Grads {
+	last := len(m.W) - 1
+	delta := ws.delta[last]
+	if len(gradOut.A) != len(delta.A) {
+		panic(fmt.Sprintf("nn: gradOut %dx%d, workspace expects %dx%d", gradOut.R, gradOut.C, delta.R, delta.C))
+	}
+	copy(delta.A, gradOut.A)
+	for l := last; l >= 0; l-- {
+		act := m.HiddenAct
+		if l == last {
+			act = m.OutAct
+		}
+		applyDeriv(act, delta, ws.acts[l+1])
+		tensor.MulATBInto(ws.grads.W[l], ws.acts[l], delta)
+		delta.SumRowsInto(ws.grads.B[l])
+		if l > 0 {
+			// delta·Wᵀ via an explicit transpose: the streaming MulAB
+			// kernel then reads rows sequentially (same sums, same order).
+			tensor.TransposeInto(ws.wt[l], m.W[l])
+			tensor.MulABInto(ws.delta[l-1], delta, ws.wt[l])
+			delta = ws.delta[l-1]
+		}
+	}
+	return ws.grads
+}
+
+// BackwardInputWS backpropagates gradOut through the workspace's cached
+// activations down to the network *input* and returns dL/dInput, skipping
+// the parameter gradients entirely — the critic-as-differentiable-oracle
+// pass of DDPG's actor update. The result aliases the workspace.
+func (m *MLP) BackwardInputWS(ws *Workspace, gradOut *tensor.Mat) *tensor.Mat {
+	last := len(m.W) - 1
+	delta := ws.delta[last]
+	if len(gradOut.A) != len(delta.A) {
+		panic(fmt.Sprintf("nn: gradOut %dx%d, workspace expects %dx%d", gradOut.R, gradOut.C, delta.R, delta.C))
+	}
+	copy(delta.A, gradOut.A)
+	for l := last; l >= 0; l-- {
+		act := m.HiddenAct
+		if l == last {
+			act = m.OutAct
+		}
+		applyDeriv(act, delta, ws.acts[l+1])
+		if l > 0 {
+			tensor.TransposeInto(ws.wt[l], m.W[l])
+			tensor.MulABInto(ws.delta[l-1], delta, ws.wt[l])
+			delta = ws.delta[l-1]
+		}
+	}
+	tensor.TransposeInto(ws.wt[0], m.W[0])
+	tensor.MulABInto(ws.gin, delta, ws.wt[0])
+	return ws.gin
 }
 
 // SoftUpdate moves target parameters toward src: θ' ← τθ + (1-τ)θ'.
@@ -196,20 +336,25 @@ func (a *Adam) Step(m *MLP, g *Grads) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	b1, b2 := a.Beta1, a.Beta2
+	ob1, ob2 := 1-b1, 1-b2
+	lr, eps := a.LR, a.Eps
 	for l := range m.W {
 		w, gw := m.W[l].A, g.W[l].A
 		mw, vw := a.mW[l].A, a.vW[l].A
 		for i := range w {
-			mw[i] = a.Beta1*mw[i] + (1-a.Beta1)*gw[i]
-			vw[i] = a.Beta2*vw[i] + (1-a.Beta2)*gw[i]*gw[i]
-			w[i] -= a.LR * (mw[i] / c1) / (math.Sqrt(vw[i]/c2) + a.Eps)
+			gv := gw[i]
+			mw[i] = b1*mw[i] + ob1*gv
+			vw[i] = b2*vw[i] + ob2*gv*gv
+			w[i] -= lr * (mw[i] / c1) / (math.Sqrt(vw[i]/c2) + eps)
 		}
 		b, gb := m.B[l], g.B[l]
 		mb, vb := a.mB[l], a.vB[l]
 		for i := range b {
-			mb[i] = a.Beta1*mb[i] + (1-a.Beta1)*gb[i]
-			vb[i] = a.Beta2*vb[i] + (1-a.Beta2)*gb[i]*gb[i]
-			b[i] -= a.LR * (mb[i] / c1) / (math.Sqrt(vb[i]/c2) + a.Eps)
+			gv := gb[i]
+			mb[i] = b1*mb[i] + ob1*gv
+			vb[i] = b2*vb[i] + ob2*gv*gv
+			b[i] -= lr * (mb[i] / c1) / (math.Sqrt(vb[i]/c2) + eps)
 		}
 	}
 }

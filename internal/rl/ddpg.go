@@ -23,11 +23,15 @@ type Transition struct {
 	Done      bool
 }
 
-// Replay is a bounded FIFO replay buffer with uniform sampling.
+// Replay is a bounded FIFO replay buffer with uniform sampling. Storage
+// grows on demand up to the capacity: short training runs (tests,
+// benchmarks, finetuning bursts) never pay for the full paper-scale buffer,
+// which at the default 100k capacity would be ~12 MB of zeroed memory per
+// agent.
 type Replay struct {
+	cap  int
 	buf  []Transition
-	next int
-	full bool
+	next int // overwrite cursor, meaningful once len(buf) == cap
 	rng  *rand.Rand
 }
 
@@ -36,30 +40,33 @@ func NewReplay(capacity int, seed int64) *Replay {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Replay{buf: make([]Transition, capacity), rng: rand.New(rand.NewSource(seed))}
+	return &Replay{cap: capacity, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add stores a transition, evicting the oldest when full.
 func (r *Replay) Add(t Transition) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, t)
+		return
+	}
 	r.buf[r.next] = t
 	r.next++
-	if r.next == len(r.buf) {
+	if r.next == r.cap {
 		r.next = 0
-		r.full = true
 	}
 }
 
 // Len returns the number of stored transitions.
-func (r *Replay) Len() int {
-	if r.full {
-		return len(r.buf)
-	}
-	return r.next
-}
+func (r *Replay) Len() int { return len(r.buf) }
 
 // Sample draws n transitions uniformly with replacement.
 func (r *Replay) Sample(n int) []Transition {
-	out := make([]Transition, n)
+	return r.SampleInto(make([]Transition, n))
+}
+
+// SampleInto fills out with uniform draws (with replacement), reusing the
+// caller's buffer. The RNG consumption matches Sample exactly.
+func (r *Replay) SampleInto(out []Transition) []Transition {
 	m := r.Len()
 	for i := range out {
 		out[i] = r.buf[r.rng.Intn(m)]
@@ -118,6 +125,58 @@ type Agent struct {
 	criticOpt *nn.Adam
 	Buf       *Replay
 	rng       *rand.Rand
+
+	scr  *updateScratch // batch-sized buffers reused across Update calls
+	act1 *actScratch    // 1-row buffers reused across Action calls
+}
+
+// updateScratch holds every buffer one Update step needs, sized for a fixed
+// batch. Reuse makes Update allocation-free without changing any float
+// operation: each buffer replaces exactly one former allocation.
+type updateScratch struct {
+	batch    int
+	ts       []Transition
+	S, A, S2 *tensor.Mat
+	sa       *tensor.Mat // state‖action input, reused for all three HStacks
+	y        []float64
+	gradQ    *tensor.Mat
+	ones     *tensor.Mat
+	gradA    *tensor.Mat
+	actorWS  *nn.Workspace // serves Actor and ActorT (same shape)
+	criticWS *nn.Workspace // serves Critic and CriticT
+}
+
+// actScratch is the 1-row forward-pass workspace behind Action.
+type actScratch struct {
+	in *tensor.Mat
+	ws *nn.Workspace
+}
+
+// scratch returns batch-sized update buffers, (re)building them when the
+// batch size changes.
+func (a *Agent) scratch(batch int) *updateScratch {
+	if a.scr != nil && a.scr.batch == batch {
+		return a.scr
+	}
+	ds, da := a.Cfg.StateDim, a.Cfg.ActionDim
+	a.scr = &updateScratch{
+		batch:    batch,
+		ts:       make([]Transition, batch),
+		S:        tensor.New(batch, ds),
+		A:        tensor.New(batch, da),
+		S2:       tensor.New(batch, ds),
+		sa:       tensor.New(batch, ds+da),
+		y:        make([]float64, batch),
+		gradQ:    tensor.New(batch, 1),
+		ones:     tensor.New(batch, 1),
+		gradA:    tensor.New(batch, da),
+		actorWS:  nn.NewWorkspace(a.Actor, batch),
+		criticWS: nn.NewWorkspace(a.Critic, batch),
+	}
+	for i := 0; i < batch; i++ {
+		a.scr.ones.Set(i, 0, -1.0/float64(batch)) // maximise Q ⇒ descend -Q
+	}
+	return a.scr
 }
 
 // New creates a DDPG agent (Alg. 2 lines 1-3: random nets, targets copied,
@@ -147,8 +206,17 @@ func New(cfg Config) (*Agent, error) {
 
 // Action returns the deterministic policy action μ(s) in [-1,1]^A.
 func (a *Agent) Action(state []float64) []float64 {
-	x := tensor.FromSlice(1, len(state), append([]float64(nil), state...))
-	out := a.Actor.Forward(x)
+	if len(state) != a.Cfg.StateDim {
+		panic(fmt.Sprintf("rl: state dim %d, want %d", len(state), a.Cfg.StateDim))
+	}
+	if a.act1 == nil {
+		a.act1 = &actScratch{
+			in: tensor.New(1, a.Cfg.StateDim),
+			ws: nn.NewWorkspace(a.Actor, 1),
+		}
+	}
+	copy(a.act1.in.A, state)
+	out := a.Actor.ForwardWS(a.act1.ws, a.act1.in)
 	return append([]float64(nil), out.Row(0)...)
 }
 
@@ -179,17 +247,18 @@ func (a *Agent) RandomAction() []float64 {
 
 // Update samples a minibatch and performs one critic and one actor gradient
 // step plus soft target updates (Alg. 2 lines 19-22). It returns the critic
-// loss, or 0 if the buffer has fewer than batch transitions.
+// loss, or 0 if the buffer has fewer than batch transitions. All
+// intermediate buffers live in a per-agent scratch workspace, so steady-
+// state updates allocate nothing.
 func (a *Agent) Update(batch int) float64 {
 	if a.Buf.Len() < batch {
 		return 0
 	}
-	ts := a.Buf.Sample(batch)
+	scr := a.scratch(batch)
+	ts := a.Buf.SampleInto(scr.ts)
 	n := len(ts)
 	ds, da := a.Cfg.StateDim, a.Cfg.ActionDim
-	S := tensor.New(n, ds)
-	A := tensor.New(n, da)
-	S2 := tensor.New(n, ds)
+	S, A, S2 := scr.S, scr.A, scr.S2
 	for i, t := range ts {
 		copy(S.Row(i), t.State)
 		copy(A.Row(i), t.Action)
@@ -197,9 +266,9 @@ func (a *Agent) Update(batch int) float64 {
 	}
 
 	// Targets: y = r + γ·Q'(s', μ'(s')) for non-terminal transitions.
-	a2 := a.ActorT.Forward(S2)
-	q2 := a.CriticT.Forward(tensor.HStack(S2, a2))
-	y := make([]float64, n)
+	a2 := a.ActorT.ForwardWS(scr.actorWS, S2)
+	q2 := a.CriticT.ForwardWS(scr.criticWS, tensor.HStackInto(scr.sa, S2, a2))
+	y := scr.y
 	for i, t := range ts {
 		y[i] = t.Reward
 		if !t.Done {
@@ -208,9 +277,8 @@ func (a *Agent) Update(batch int) float64 {
 	}
 
 	// Critic step: minimise (1/n)Σ (Q(s,a) - y)².
-	sa := tensor.HStack(S, A)
-	q, qCache := a.Critic.ForwardCache(sa)
-	gradQ := tensor.New(n, 1)
+	q := a.Critic.ForwardWS(scr.criticWS, tensor.HStackInto(scr.sa, S, A))
+	gradQ := scr.gradQ
 	var loss float64
 	for i := 0; i < n; i++ {
 		d := q.At(i, 0) - y[i]
@@ -218,21 +286,17 @@ func (a *Agent) Update(batch int) float64 {
 		gradQ.Set(i, 0, 2*d/float64(n))
 	}
 	loss /= float64(n)
-	_, criticGrads := a.Critic.Backward(qCache, gradQ)
+	criticGrads := a.Critic.BackwardWS(scr.criticWS, gradQ)
 	a.criticOpt.Step(a.Critic, criticGrads)
 
 	// Actor step: ascend Q(s, μ(s)) — backprop dQ/da through the critic to
-	// the action inputs, then through the actor.
-	aPred, aCache := a.Actor.ForwardCache(S)
-	saPred := tensor.HStack(S, aPred)
-	_, qPredCache := a.Critic.ForwardCache(saPred)
-	ones := tensor.New(n, 1)
-	for i := 0; i < n; i++ {
-		ones.Set(i, 0, -1.0/float64(n)) // maximise Q ⇒ descend -Q
-	}
-	gradSA, _ := a.Critic.Backward(qPredCache, ones)
-	gradA := gradSA.Cols(ds, ds+da)
-	_, actorGrads := a.Actor.Backward(aCache, gradA)
+	// the action inputs, then through the actor. The actor workspace still
+	// caches μ(S) from the forward pass below when BackwardWS runs.
+	aPred := a.Actor.ForwardWS(scr.actorWS, S)
+	a.Critic.ForwardWS(scr.criticWS, tensor.HStackInto(scr.sa, S, aPred))
+	gradSA := a.Critic.BackwardInputWS(scr.criticWS, scr.ones)
+	gradA := gradSA.ColsInto(scr.gradA, ds, ds+da)
+	actorGrads := a.Actor.BackwardWS(scr.actorWS, gradA)
 	a.actorOpt.Step(a.Actor, actorGrads)
 
 	// Soft target updates.

@@ -10,10 +10,19 @@
 // accumulated latencies, are exposed incrementally via Exec) and the
 // instrument every experiment harness measures with (end-to-end latency,
 // streaming IPS, per-device compute/transmission breakdown for Fig. 15).
+//
+// Two execution paths exist. Latency/Stream compile the strategy once
+// (Compile) and replay the plan per image with all time-invariant work —
+// geometry, halo overlaps, payload sizes, device compute latencies —
+// precomputed and all buffers reused; only the time-varying network
+// transfers are evaluated per image. ReferenceLatency retains the original
+// per-image derivation as the differential-testing oracle; both paths
+// produce bit-identical results (see sim_equivalence_test.go).
 package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"distredge/internal/cnn"
 	"distredge/internal/device"
@@ -32,16 +41,82 @@ type Env struct {
 	Model   *cnn.Model
 	Devices []device.LatencyModel
 	Net     *network.Network
+
+	// NoCache disables the device-latency memo cache. Cached values are
+	// bit-identical to direct evaluation; the switch exists for
+	// differential tests and memory-constrained callers.
+	NoCache bool
+
+	mu       sync.Mutex
+	devCache *device.Cache
+	plans    map[*strategy.Strategy]*CompiledPlan
 }
 
 // WithDevices returns a copy of the environment whose devices are replaced
-// by the given latency models (e.g. measured profiles for planning).
+// by the given latency models (e.g. measured profiles for planning). The
+// copy starts with fresh latency caches.
 func (e *Env) WithDevices(models []device.LatencyModel) *Env {
-	return &Env{Model: e.Model, Devices: models, Net: e.Net}
+	return &Env{Model: e.Model, Devices: models, Net: e.Net, NoCache: e.NoCache}
 }
 
 // NumProviders returns the number of service providers in the environment.
 func (e *Env) NumProviders() int { return len(e.Devices) }
+
+// VolumeLatency returns the compute latency of provider i producing output
+// rows `out` of the layer-volume, memoized per (provider, volume, range) —
+// the hot lookup of both OSDS training and plan compilation.
+func (e *Env) VolumeLatency(i int, layers []cnn.Layer, out cnn.RowRange) float64 {
+	if e.NoCache {
+		return device.VolumeLatency(e.Devices[i], layers, out)
+	}
+	e.mu.Lock()
+	c := e.devCache
+	if c == nil {
+		c = device.NewCache()
+		e.devCache = c
+	}
+	e.mu.Unlock()
+	return c.VolumeLatency(i, e.Devices[i], layers, out)
+}
+
+// CacheStats returns the hit/miss counters of the device-latency cache.
+func (e *Env) CacheStats() device.CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.devCache == nil {
+		return device.CacheStats{}
+	}
+	return e.devCache.Stats()
+}
+
+// checkoutPlan returns a compiled plan for the strategy, reusing the memoized
+// one when the strategy contents are unchanged. The plan is removed from the
+// memo while in use so concurrent callers never share scratch buffers.
+func (e *Env) checkoutPlan(s *strategy.Strategy) (*CompiledPlan, error) {
+	e.mu.Lock()
+	p := e.plans[s]
+	if p != nil {
+		delete(e.plans, s)
+	}
+	e.mu.Unlock()
+	if p != nil && p.matches(s) {
+		return p, nil
+	}
+	return Compile(e, s)
+}
+
+// checkinPlan returns a plan to the memo for reuse.
+func (e *Env) checkinPlan(p *CompiledPlan) {
+	e.mu.Lock()
+	if e.plans == nil {
+		e.plans = make(map[*strategy.Strategy]*CompiledPlan)
+	}
+	if len(e.plans) >= 64 { // bound memory across many short-lived strategies
+		clear(e.plans)
+	}
+	e.plans[p.strat] = p
+	e.mu.Unlock()
+}
 
 // Breakdown is the per-image latency decomposition used by Fig. 15.
 type Breakdown struct {
@@ -55,6 +130,13 @@ func (b Breakdown) MaxComp() float64 { return maxOf(b.PerDevComp) }
 // MaxTrans returns the maximum per-device transmission latency.
 func (b Breakdown) MaxTrans() float64 { return maxOf(b.PerDevTrans) }
 
+func (b Breakdown) clone() Breakdown {
+	return Breakdown{
+		PerDevComp:  append([]float64(nil), b.PerDevComp...),
+		PerDevTrans: append([]float64(nil), b.PerDevTrans...),
+	}
+}
+
 func maxOf(xs []float64) float64 {
 	var m float64
 	for _, x := range xs {
@@ -67,35 +149,57 @@ func maxOf(xs []float64) float64 {
 
 // Exec is the incremental execution of one image under a fixed partition
 // scheme: volumes are split one at a time via Step, exposing the
-// accumulated latencies that form the OSDS state (Eq. 7).
+// accumulated latencies that form the OSDS state (Eq. 7). An Exec owns its
+// buffers and is reusable: Reset re-arms it for the next image without
+// allocating, which is how OSDS training amortises the per-episode cost.
 type Exec struct {
 	env        *Env
 	boundaries []int
 	at         float64 // absolute trace time of the image start
 
-	vol   int            // next volume to split
-	acc   []float64      // accumulated latency per provider (Eq. 7 state)
-	busy  []float64      // time each provider becomes free
-	owner []cnn.RowRange // rows of the previous volume's output held per provider
-	bd    Breakdown
-	err   error
+	vol       int            // next volume to split
+	acc       []float64      // accumulated latency per provider (Eq. 7 state)
+	accNext   []float64      // next-volume accumulator (double buffer)
+	busy      []float64      // time each provider becomes free
+	owner     []cnn.RowRange // rows of the previous volume's output held per provider
+	ownerNext []cnn.RowRange
+	bd        Breakdown
+	err       error
 }
 
 // NewExec starts the execution of one image at absolute time `at` under the
 // given partition scheme.
 func NewExec(env *Env, boundaries []int, at float64) *Exec {
 	n := env.NumProviders()
-	return &Exec{
-		env:        env,
-		boundaries: boundaries,
-		at:         at,
-		acc:        make([]float64, n),
-		busy:       make([]float64, n),
-		owner:      nil, // requester owns the input before volume 0
+	x := &Exec{
+		env:       env,
+		acc:       make([]float64, n),
+		accNext:   make([]float64, n),
+		busy:      make([]float64, n),
+		owner:     make([]cnn.RowRange, n),
+		ownerNext: make([]cnn.RowRange, n),
 		bd: Breakdown{
 			PerDevComp:  make([]float64, n),
 			PerDevTrans: make([]float64, n),
 		},
+	}
+	x.Reset(boundaries, at)
+	return x
+}
+
+// Reset re-arms the exec for a new image starting at absolute time `at`
+// under the given partition scheme, reusing all internal buffers. The
+// Breakdown returned by a previous Finish is invalidated.
+func (x *Exec) Reset(boundaries []int, at float64) {
+	x.boundaries = boundaries
+	x.at = at
+	x.vol = 0
+	x.err = nil
+	for i := range x.acc {
+		x.acc[i] = 0
+		x.busy[i] = 0
+		x.bd.PerDevComp[i] = 0
+		x.bd.PerDevTrans[i] = 0
 	}
 }
 
@@ -109,7 +213,9 @@ func (x *Exec) Done() bool { return x.vol >= x.NumVolumes() }
 func (x *Exec) Err() error { return x.err }
 
 // Accumulated returns the per-provider accumulated latencies after the last
-// completed volume (the T^{l-1} component of the OSDS state).
+// completed volume (the T^{l-1} component of the OSDS state). The slice
+// aliases the exec's double buffer and is valid until the next Step or
+// Reset; copy it to retain a snapshot.
 func (x *Exec) Accumulated() []float64 { return x.acc }
 
 // NextVolume returns the layers of the volume the next Step will split, or
@@ -135,11 +241,10 @@ func (x *Exec) Step(cuts []int) {
 		return
 	}
 
-	newOwner := make([]cnn.RowRange, n)
-	newAcc := append([]float64(nil), x.acc...)
+	copy(x.accNext, x.acc)
 	for i := 0; i < n; i++ {
 		part := strategy.CutRange(cuts, h, i)
-		newOwner[i] = part
+		x.ownerNext[i] = part
 		if part.Empty() {
 			continue
 		}
@@ -149,14 +254,14 @@ func (x *Exec) Step(cuts []int) {
 		if x.busy[i] > start {
 			start = x.busy[i]
 		}
-		comp := device.VolumeLatency(x.env.Devices[i], layers, part)
+		comp := x.env.VolumeLatency(i, layers, part)
 		finish := start + comp
 		x.bd.PerDevComp[i] += comp
 		x.busy[i] = finish
-		newAcc[i] = finish
+		x.accNext[i] = finish
 	}
-	x.acc = newAcc
-	x.owner = newOwner
+	x.acc, x.accNext = x.accNext, x.acc
+	x.owner, x.ownerNext = x.ownerNext, x.owner
 	x.vol++
 }
 
@@ -167,7 +272,7 @@ func (x *Exec) gather(i int, in cnn.RowRange, rowBytes float64) float64 {
 	if in.Empty() {
 		return 0
 	}
-	if x.owner == nil {
+	if x.vol == 0 {
 		// Requester scatters the input image rows.
 		bytes := float64(in.Len()) * rowBytes
 		tr := x.env.Net.TransferLatency(network.Requester, i, bytes, x.at)
@@ -197,7 +302,8 @@ func (x *Exec) gather(i int, in cnn.RowRange, rowBytes float64) float64 {
 // Finish completes the image: gathers the last volume's output (to the FC
 // owner if the model has FC layers, else directly to the requester),
 // computes any FC layers, and returns the result to the requester. It
-// returns the end-to-end latency of the image.
+// returns the end-to-end latency of the image. The Breakdown aliases the
+// exec's buffers and is valid until the next Reset.
 func (x *Exec) Finish() (float64, Breakdown, error) {
 	if x.err != nil {
 		return 0, x.bd, x.err
@@ -261,8 +367,26 @@ func (x *Exec) Finish() (float64, Breakdown, error) {
 }
 
 // Latency runs a full strategy for one image starting at absolute time `at`
-// and returns the end-to-end latency and breakdown.
+// and returns the end-to-end latency and breakdown. The strategy is
+// compiled on first use and the plan is memoized on the environment, so
+// repeated evaluations of the same strategy are allocation-free apart from
+// the returned Breakdown.
 func (e *Env) Latency(s *strategy.Strategy, at float64) (float64, Breakdown, error) {
+	p, err := e.checkoutPlan(s)
+	if err != nil {
+		return 0, Breakdown{}, err
+	}
+	lat, bd := p.run(at)
+	out := bd.clone()
+	e.checkinPlan(p)
+	return lat, out, nil
+}
+
+// ReferenceLatency is the original per-image execution path: it validates
+// the strategy and re-derives all geometry for every call. It is retained
+// as the differential-testing oracle for the compiled path — both produce
+// bit-identical results.
+func (e *Env) ReferenceLatency(s *strategy.Strategy, at float64) (float64, Breakdown, error) {
 	if err := s.Validate(e.Model, e.NumProviders()); err != nil {
 		return 0, Breakdown{}, err
 	}
@@ -270,7 +394,8 @@ func (e *Env) Latency(s *strategy.Strategy, at float64) (float64, Breakdown, err
 	for v := 0; v < s.NumVolumes(); v++ {
 		x.Step(s.Splits[v])
 	}
-	return x.Finish()
+	lat, bd, err := x.Finish()
+	return lat, bd, err
 }
 
 // StreamResult summarises a streaming evaluation (Section V-A: images are
@@ -286,26 +411,49 @@ type StreamResult struct {
 // Stream evaluates the strategy over a stream of `images` images starting
 // at trace time `start`, returning the averaged images-per-second — the
 // paper's headline metric.
+//
+// The strategy is validated and compiled once (not once per image), and on
+// time-invariant networks the stream short-circuits: as soon as the
+// per-image latency reaches steady state (two consecutive images with
+// identical latency — on a constant network that is image two), the
+// remaining images are extrapolated with the same accumulation the full
+// loop would perform, so the result stays bit-identical while the cost
+// drops from O(images) simulations to O(1).
 func (e *Env) Stream(s *strategy.Strategy, images int, start float64) (StreamResult, error) {
 	if images <= 0 {
 		return StreamResult{}, fmt.Errorf("sim: need at least 1 image")
 	}
+	p, err := e.checkoutPlan(s)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	invariant := e.Net.TimeInvariant()
 	t := start
 	var lastBD Breakdown
+	prevLat := -1.0
 	for i := 0; i < images; i++ {
-		lat, bd, err := e.Latency(s, t)
-		if err != nil {
-			return StreamResult{}, err
-		}
+		lat, bd := p.run(t)
 		t += lat
 		lastBD = bd
+		if invariant && lat == prevLat {
+			// Steady state: images do not overlap, so with a
+			// time-invariant network every remaining image repeats this
+			// latency and breakdown exactly.
+			for k := i + 1; k < images; k++ {
+				t += lat
+			}
+			break
+		}
+		prevLat = lat
 	}
+	out := lastBD.clone()
+	e.checkinPlan(p)
 	total := t - start
 	return StreamResult{
 		Images:    images,
 		TotalSec:  total,
 		IPS:       float64(images) / total,
 		MeanLatMS: total / float64(images) * 1e3,
-		Breakdown: lastBD,
+		Breakdown: out,
 	}, nil
 }

@@ -94,6 +94,7 @@ type Trainer struct {
 	agent      *rl.Agent
 	rng        *rand.Rand
 	episode    int
+	exec       *sim.Exec // reusable per-episode executor (compiled path)
 
 	// State normalisation scales derived from the model.
 	latScale float64
@@ -221,11 +222,11 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 	n := env.NumProviders()
 	full := cnn.RowRange{Lo: 0, Hi: h}
 	weights := make([]float64, n)
-	for i, d := range env.Devices {
+	for i := range env.Devices {
 		if !allowed[i] {
 			continue
 		}
-		lat := device.VolumeLatency(d, layers, full)
+		lat := env.VolumeLatency(i, layers, full)
 		if lat > 0 {
 			weights[i] = 1 / lat
 		}
@@ -235,7 +236,7 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 		var worst float64
 		for i := 0; i < n; i++ {
 			part := strategy.CutRange(cuts, h, i)
-			lat := device.VolumeLatency(env.Devices[i], layers, part)
+			lat := env.VolumeLatency(i, layers, part)
 			if lat > worst {
 				worst = lat
 			}
@@ -243,11 +244,12 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 		return worst
 	}
 	cur := partLat(cuts)
+	cand := make([]int, len(cuts))
 	for iter := 0; iter < 24; iter++ {
 		improved := false
 		for ci := range cuts {
-			for _, d := range []int{-4, -1, 1, 4} {
-				cand := append([]int(nil), cuts...)
+			for _, d := range climbDeltas {
+				copy(cand, cuts)
 				cand[ci] += d
 				if cand[ci] < 0 || cand[ci] > h {
 					continue
@@ -259,7 +261,8 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 					continue
 				}
 				if l := partLat(cand); l < cur {
-					cuts, cur = cand, l
+					copy(cuts, cand)
+					cur = l
 					improved = true
 				}
 			}
@@ -270,6 +273,9 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 	}
 	return cuts
 }
+
+// climbDeltas are the hill-climbing moves of balancedCutsSubset.
+var climbDeltas = [...]int{-4, -1, 1, 4}
 
 // numWarmCandidates is the number of distinct warm-start strategy families
 // tried before DDPG exploration takes over.
@@ -288,8 +294,8 @@ func warmCuts(env *sim.Env, layers []cnn.Layer, h, kind int) []int {
 	full := cnn.RowRange{Lo: 0, Hi: h}
 	lats := make([]float64, n)
 	order := make([]int, n)
-	for i, d := range env.Devices {
-		lats[i] = device.VolumeLatency(d, layers, full)
+	for i := range env.Devices {
+		lats[i] = env.VolumeLatency(i, layers, full)
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return lats[order[a]] < lats[order[b]] })
@@ -327,7 +333,12 @@ func warmCuts(env *sim.Env, layers []cnn.Layer, h, kind int) []int {
 func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *strategy.Strategy) {
 	numVol := len(t.boundaries) - 1
 	at := t.rng.Float64() * 300 // sample a trace instant
-	x := sim.NewExec(t.env, t.boundaries, at)
+	if t.exec == nil {
+		t.exec = sim.NewExec(t.env, t.boundaries, at)
+	} else {
+		t.exec.Reset(t.boundaries, at)
+	}
+	x := t.exec
 	sigma := math.Sqrt(t.cfg.SigmaSq)
 
 	splits := make([][]int, 0, numVol)
@@ -428,6 +439,7 @@ func (t *Trainer) Best() (*strategy.Strategy, float64) { return t.best, t.bestT 
 // because old latencies are no longer comparable.
 func (t *Trainer) Finetune(env *sim.Env, episodes int) *Result {
 	t.env = env
+	t.exec = nil // the reusable executor is bound to the old env
 	t.deriveScales()
 	t.best = nil
 	t.bestT = math.Inf(1)

@@ -1,0 +1,48 @@
+package strategy
+
+import (
+	"distredge/internal/cnn"
+)
+
+// VolumeGeometry is the fully resolved geometry of one layer-volume under a
+// fixed strategy: everything the simulator used to re-derive per image
+// (layer slices, output height, row byte widths, per-provider output row
+// ranges and VSL halo input ranges), computed once at compile time.
+type VolumeGeometry struct {
+	Layers     []cnn.Layer
+	Height     int     // output height of the volume's last layer
+	InRowBytes float64 // bytes per input row of the volume's first layer
+	Parts      []cnn.RowRange
+	Inputs     []cnn.RowRange // halo input rows per provider; zero when Parts[i] is empty
+}
+
+// CompileGeometry validates the strategy once and precomputes the geometry
+// of every layer-volume for the given provider count. The result depends
+// only on the model and the strategy, so it can be shared by any simulator
+// or runtime executing the same plan.
+func CompileGeometry(m *cnn.Model, s *Strategy, providers int) ([]VolumeGeometry, error) {
+	if err := s.Validate(m, providers); err != nil {
+		return nil, err
+	}
+	vols := make([]VolumeGeometry, s.NumVolumes())
+	for v := range vols {
+		layers := Volume(m, s.Boundaries, v)
+		h := layers[len(layers)-1].OutHeight()
+		g := VolumeGeometry{
+			Layers:     layers,
+			Height:     h,
+			InRowBytes: layers[0].InRowBytes(),
+			Parts:      make([]cnn.RowRange, providers),
+			Inputs:     make([]cnn.RowRange, providers),
+		}
+		for i := 0; i < providers; i++ {
+			part := CutRange(s.Splits[v], h, i)
+			g.Parts[i] = part
+			if !part.Empty() {
+				g.Inputs[i] = cnn.VolumeInputRows(layers, part)
+			}
+		}
+		vols[v] = g
+	}
+	return vols, nil
+}

@@ -62,20 +62,34 @@ func (m *Mat) Randomize(rng *rand.Rand, scale float64) {
 
 // MulAB returns a·b for a (m×k) and b (k×n).
 func MulAB(a, b *Mat) *Mat {
+	return MulABInto(New(a.R, b.C), a, b)
+}
+
+// MulABInto computes a·b into out (a.R × b.C), reusing out's storage. Each
+// output element accumulates its terms in ascending k order (skipping zero
+// a-elements, as MulAB always has), so results are bit-identical to the
+// naive loop on finite values; out must not alias a or b. The k-outer loop
+// streams b's rows sequentially and skips entire rows for the zeros ReLU
+// activations produce in bulk.
+func MulABInto(out, a, b *Mat) *Mat {
 	if a.C != b.R {
 		panic(fmt.Sprintf("tensor: MulAB %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.R, b.C)
+	if out.R != a.R || out.C != b.C {
+		panic(fmt.Sprintf("tensor: MulABInto out %dx%d for %dx%d product", out.R, out.C, a.R, b.C))
+	}
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
+		clear(orow)
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
 			brow := b.Row(k)
+			odst := orow[:len(brow)] // hoist the bounds check out of the loop
 			for j, bv := range brow {
-				orow[j] += av * bv
+				odst[j] += av * bv
 			}
 		}
 	}
@@ -84,20 +98,38 @@ func MulAB(a, b *Mat) *Mat {
 
 // MulABT returns a·bᵀ for a (m×k) and b (n×k).
 func MulABT(a, b *Mat) *Mat {
+	return MulABTInto(New(a.R, b.R), a, b)
+}
+
+// MulABTInto computes a·bᵀ into out (a.R × b.R), reusing out's storage;
+// out must not alias a or b. The k-outer loop shape keeps the additions of
+// different output columns on independent dependency chains (hiding the
+// FMA latency a naive dot product serialises on) and skips entire columns
+// for the zeros ReLU backpropagation produces in bulk. Each output element
+// accumulates its terms in ascending k order, so results match the naive
+// dot product bit-for-bit on finite values.
+func MulABTInto(out, a, b *Mat) *Mat {
 	if a.C != b.C {
 		panic(fmt.Sprintf("tensor: MulABT %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.R, b.R)
+	if out.R != a.R || out.C != b.R {
+		panic(fmt.Sprintf("tensor: MulABTInto out %dx%d for %dx%d product", out.R, out.C, a.R, b.R))
+	}
+	bc := b.C
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
-		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k := range arow {
-				s += arow[k] * brow[k]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
 			}
-			orow[j] = s
+			bcol := b.A[k:]
+			for j := range orow {
+				orow[j] += av * bcol[j*bc]
+			}
 		}
 	}
 	return out
@@ -105,10 +137,21 @@ func MulABT(a, b *Mat) *Mat {
 
 // MulATB returns aᵀ·b for a (k×m) and b (k×n).
 func MulATB(a, b *Mat) *Mat {
+	return MulATBInto(New(a.C, b.C), a, b)
+}
+
+// MulATBInto computes aᵀ·b into out (a.C × b.C), reusing out's storage;
+// out must not alias a or b.
+func MulATBInto(out, a, b *Mat) *Mat {
 	if a.R != b.R {
 		panic(fmt.Sprintf("tensor: MulATB (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.C, b.C)
+	if out.R != a.C || out.C != b.C {
+		panic(fmt.Sprintf("tensor: MulATBInto out %dx%d for %dx%d product", out.R, out.C, a.C, b.C))
+	}
+	// The k-outer loop streams a, b and out rows sequentially and skips
+	// zero a-elements; per-element accumulation stays in ascending k order.
+	out.Zero()
 	for k := 0; k < a.R; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
@@ -116,10 +159,24 @@ func MulATB(a, b *Mat) *Mat {
 			if av == 0 {
 				continue
 			}
-			orow := out.Row(i)
+			odst := out.Row(i)[:len(brow)]
 			for j, bv := range brow {
-				orow[j] += av * bv
+				odst[j] += av * bv
 			}
+		}
+	}
+	return out
+}
+
+// TransposeInto writes mᵀ into out (m.C × m.R), reusing out's storage.
+func TransposeInto(out, m *Mat) *Mat {
+	if out.R != m.C || out.C != m.R {
+		panic(fmt.Sprintf("tensor: TransposeInto out %dx%d for %dx%d", out.R, out.C, m.C, m.R))
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.A[j*out.C+i] = v
 		}
 	}
 	return out
@@ -131,20 +188,31 @@ func (m *Mat) AddRowVec(v []float64) {
 		panic(fmt.Sprintf("tensor: AddRowVec len %d to %d cols", len(v), m.C))
 	}
 	for i := 0; i < m.R; i++ {
-		row := m.Row(i)
-		for j := range row {
-			row[j] += v[j]
+		row := m.Row(i)[:len(v)]
+		for j, vv := range v {
+			row[j] += vv
 		}
 	}
 }
 
 // SumRows returns the column-wise sum of m (gradient of a broadcast bias).
 func (m *Mat) SumRows() []float64 {
-	out := make([]float64, m.C)
+	return m.SumRowsInto(make([]float64, m.C))
+}
+
+// SumRowsInto computes the column-wise sum of m into out (length m.C).
+func (m *Mat) SumRowsInto(out []float64) []float64 {
+	if len(out) != m.C {
+		panic(fmt.Sprintf("tensor: SumRowsInto len %d for %d cols", len(out), m.C))
+	}
+	for j := range out {
+		out[j] = 0
+	}
 	for i := 0; i < m.R; i++ {
 		row := m.Row(i)
+		odst := out[:len(row)]
 		for j, v := range row {
-			out[j] += v
+			odst[j] += v
 		}
 	}
 	return out
@@ -178,10 +246,17 @@ func (m *Mat) AddScaled(o *Mat, s float64) {
 
 // HStack concatenates a and b column-wise (same row count).
 func HStack(a, b *Mat) *Mat {
+	return HStackInto(New(a.R, a.C+b.C), a, b)
+}
+
+// HStackInto concatenates a and b column-wise into out (a.R × a.C+b.C).
+func HStackInto(out, a, b *Mat) *Mat {
 	if a.R != b.R {
 		panic(fmt.Sprintf("tensor: HStack %dx%d | %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.R, a.C+b.C)
+	if out.R != a.R || out.C != a.C+b.C {
+		panic(fmt.Sprintf("tensor: HStackInto out %dx%d for %dx%d", out.R, out.C, a.R, a.C+b.C))
+	}
 	for i := 0; i < a.R; i++ {
 		copy(out.Row(i)[:a.C], a.Row(i))
 		copy(out.Row(i)[a.C:], b.Row(i))
@@ -194,7 +269,17 @@ func (m *Mat) Cols(lo, hi int) *Mat {
 	if lo < 0 || hi > m.C || lo > hi {
 		panic(fmt.Sprintf("tensor: Cols [%d,%d) of %d", lo, hi, m.C))
 	}
-	out := New(m.R, hi-lo)
+	return m.ColsInto(New(m.R, hi-lo), lo, hi)
+}
+
+// ColsInto copies columns [lo,hi) of m into out (m.R × hi-lo).
+func (m *Mat) ColsInto(out *Mat, lo, hi int) *Mat {
+	if lo < 0 || hi > m.C || lo > hi {
+		panic(fmt.Sprintf("tensor: Cols [%d,%d) of %d", lo, hi, m.C))
+	}
+	if out.R != m.R || out.C != hi-lo {
+		panic(fmt.Sprintf("tensor: ColsInto out %dx%d for %dx%d", out.R, out.C, m.R, hi-lo))
+	}
 	for i := 0; i < m.R; i++ {
 		copy(out.Row(i), m.Row(i)[lo:hi])
 	}
