@@ -295,6 +295,25 @@ func BenchmarkStream(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineStream measures a 500-image pipelined streaming
+// evaluation with four images in flight — the sustained-serving workload
+// behind the Fig. 16 window sweep. Unlike Stream, the pipeline engine has
+// no steady-state short-circuit (resource carryover makes images differ),
+// so this tracks the honest per-image replay cost.
+func BenchmarkPipelineStream(b *testing.B) {
+	env := benchEnv()
+	s := benchStrategy(env)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.PipelineStream(s, 500, 4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPS, "IPS")
+	}
+}
+
 // BenchmarkLCPSS measures a full partition search on VGG-16.
 func BenchmarkLCPSS(b *testing.B) {
 	m := cnn.VGG16()

@@ -25,11 +25,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15 or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16 or 'all'")
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
 	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
+	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 throughput sweep")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -49,7 +50,13 @@ func main() {
 	b.Seed = *seed
 	b.Parallel = *parallel
 
-	figs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	winSizes, err := parseWindows(*windows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -windows %q: %v\n", *windows, err)
+		os.Exit(2)
+	}
+
+	figs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 	if *fig != "all" {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -61,7 +68,7 @@ func main() {
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps); err != nil {
+		if err := run(f, b, *reps, winSizes); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %d: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -69,7 +76,29 @@ func main() {
 	}
 }
 
-func run(fig int, b experiments.Budget, reps int) error {
+func parseWindows(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if w < 1 {
+			return nil, fmt.Errorf("window %d < 1", w)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no window sizes")
+	}
+	return out, nil
+}
+
+func run(fig int, b experiments.Budget, reps int, windows []int) error {
 	switch fig {
 	case 4:
 		header("Fig. 4 — stable WiFi throughput traces")
@@ -194,6 +223,24 @@ func run(fig int, b experiments.Budget, reps int) error {
 		fmt.Printf("%-14s %12s %12s\n", "method", "maxTrans(ms)", "maxComp(ms)")
 		for _, r := range rows {
 			fmt.Printf("%-14s %12.1f %12.1f\n", r.Method, r.MaxTransMS, r.MaxCompMS)
+		}
+	case 16:
+		header("Fig. 16 — sustained IPS vs admission window (pipelined serving)")
+		rows, err := experiments.Fig16WindowSweep(b, windows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-10s %7s %8s %8s %9s %9s %8s\n",
+			"case", "method", "window", "IPS", "steady", "lat(ms)", "p95(ms)", "speedup")
+		lastSeries := ""
+		for _, r := range rows {
+			series := r.Case + "/" + r.Method
+			if series != lastSeries && lastSeries != "" {
+				fmt.Println()
+			}
+			lastSeries = series
+			fmt.Printf("%-24s %-10s %7d %8.2f %8.2f %9.1f %9.1f %7.2fx\n",
+				r.Case, r.Method, r.Window, r.IPS, r.SteadyIPS, r.MeanLatMS, r.P95LatMS, r.SpeedupVsSeq)
 		}
 	default:
 		return fmt.Errorf("unknown figure %d", fig)

@@ -25,6 +25,7 @@ func main() {
 	model := flag.String("model", "vgg16", "model: "+strings.Join(distredge.Models(), ", "))
 	provSpec := flag.String("providers", "xavier:200,nano:200", "comma-separated type:bandwidthMbps list")
 	images := flag.Int("images", 10, "images to stream")
+	window := flag.Int("window", 1, "admission window: images kept in flight (1 = the paper's sequential protocol)")
 	timescale := flag.Float64("timescale", 0.1, "compute emulation time scale (1.0 = full model latency)")
 	bytescale := flag.Float64("bytescale", 0.01, "payload byte scale (1.0 = full activation sizes)")
 	effort := flag.String("effort", "tiny", "planning effort: tiny|quick|full|paper")
@@ -52,11 +53,12 @@ func main() {
 	defer cluster.Close()
 	fmt.Printf("deployed %d providers; requester at %s\n", cluster.NumProviders(), cluster.Addr())
 
-	stats, err := cluster.Run(*images)
+	stats, err := cluster.RunPipelined(*images, *window)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("streamed %d images in %.2fs — %.2f images/sec\n", stats.Images, stats.TotalSec, stats.IPS)
+	fmt.Printf("streamed %d images (window %d) in %.2fs — %.2f images/sec\n",
+		stats.Images, stats.Window, stats.TotalSec, stats.IPS)
 	for i, ms := range stats.PerImageMS {
 		fmt.Printf("  image %2d: %7.1f ms\n", i+1, ms)
 	}

@@ -25,6 +25,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.75, "LC-PSS alpha (transmission/ops trade-off)")
 	effort := flag.String("effort", "quick", "planning effort: tiny|quick|full|paper")
 	images := flag.Int("images", 500, "images to stream in the evaluation")
+	window := flag.Int("window", 1, "admission window: images kept in flight (1 = the paper's sequential protocol)")
 	seed := flag.Int64("seed", 1, "random seed")
 	withBaselines := flag.Bool("baselines", false, "also evaluate the seven baseline methods")
 	describe := flag.Bool("describe", false, "print the model's per-layer summary and exit")
@@ -84,6 +85,15 @@ func main() {
 	}
 	fmt.Printf("\n%-14s IPS=%7.2f  latency=%7.1fms  maxComp=%6.1fms  maxTrans=%6.1fms\n",
 		plan.Method, rep.IPS, rep.MeanLatMS, rep.MaxCompMS, rep.MaxTransMS)
+
+	if *window > 1 {
+		prep, err := sys.EvaluatePipelined(plan, *images, *window)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s IPS=%7.2f  steady=%7.2f  latency=%7.1fms  p95=%7.1fms  (window %d)\n",
+			"pipelined", prep.IPS, prep.SteadyIPS, prep.MeanLatMS, prep.P95LatMS, prep.Window)
+	}
 
 	if *timeline {
 		gantt, err := sys.Timeline(plan)

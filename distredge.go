@@ -211,8 +211,38 @@ func (s *System) Evaluate(p *Plan, images int) (Report, error) {
 	}, nil
 }
 
+// PipelineReport summarises a pipelined (multi-image in flight) evaluation.
+type PipelineReport struct {
+	Window    int
+	IPS       float64
+	SteadyIPS float64
+	MeanLatMS float64
+	P95LatMS  float64
+}
+
+// EvaluatePipelined streams `images` images through the plan keeping up to
+// `window` of them in flight (sim.PipelineStream): devices and links are
+// shared resources, so the report measures the sustained serving rate and
+// the per-image latency under load. Window 1 reproduces Evaluate's
+// sequential protocol exactly.
+func (s *System) EvaluatePipelined(p *Plan, images, window int) (PipelineReport, error) {
+	res, err := s.env.PipelineStream(p.Strategy, images, window, 0)
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	return PipelineReport{
+		Window:    res.Window,
+		IPS:       res.IPS,
+		SteadyIPS: res.SteadyIPS,
+		MeanLatMS: res.MeanLatMS,
+		P95LatMS:  res.P95LatMS,
+	}, nil
+}
+
 // Deploy executes the plan over real TCP sockets on localhost with emulated
 // compute (see internal/runtime). Close the returned cluster when done.
+// Cluster.Run streams sequentially; Cluster.RunPipelined keeps an admission
+// window of images in flight.
 func (s *System) Deploy(p *Plan, opts runtime.Options) (*runtime.Cluster, error) {
 	return runtime.Deploy(s.env, p.Strategy, opts)
 }

@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+func TestFig16WindowSweep(t *testing.T) {
+	b := Tiny()
+	windows := []int{1, 4}
+	rows, err := Fig16WindowSweep(b, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cases x 2 methods x 2 windows.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	bySeries := map[[2]string]map[int]WindowRow{}
+	for _, r := range rows {
+		if r.IPS <= 0 || r.SteadyIPS <= 0 || r.MeanLatMS <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.P95LatMS < r.MeanLatMS*0.5 {
+			t.Errorf("p95 %f below half the mean %f: %+v", r.P95LatMS, r.MeanLatMS, r)
+		}
+		key := [2]string{r.Case, r.Method}
+		if bySeries[key] == nil {
+			bySeries[key] = map[int]WindowRow{}
+		}
+		bySeries[key][r.Window] = r
+	}
+	for key, series := range bySeries {
+		w1, ok1 := series[1]
+		w4, ok4 := series[4]
+		if !ok1 || !ok4 {
+			t.Fatalf("series %v missing windows: %v", key, series)
+		}
+		if w1.SpeedupVsSeq != 1 {
+			t.Errorf("series %v: window-1 speedup %f, want 1", key, w1.SpeedupVsSeq)
+		}
+		// Wider windows never reduce throughput on stable traces.
+		if w4.IPS < w1.IPS*0.999 {
+			t.Errorf("series %v: window 4 IPS %f below window 1 %f", key, w4.IPS, w1.IPS)
+		}
+		// The stage layout must show a real pipelined speedup.
+		if key[1] == MethodStage && w4.SpeedupVsSeq < 1.3 {
+			t.Errorf("series %v: stage speedup %f, want >= 1.3", key, w4.SpeedupVsSeq)
+		}
+	}
+}
+
+func TestFig16DeterministicAcrossWorkers(t *testing.T) {
+	b := Tiny()
+	serial, err := Fig16WindowSweep(b, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Parallel = 4
+	parallel, err := Fig16WindowSweep(b, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-// Chunk is the wire unit: rows [Lo,Hi) of generation Volume (-1 = input
+// Chunk is the wire unit: rows [Lo,Hi) of generation Volume (-1 = the input
 // image) for one image. Payload carries the (scaled) activation bytes.
 type Chunk struct {
 	Image   uint32
@@ -40,6 +40,77 @@ func (o *conn) send(ch Chunk) error {
 	return o.enc.Encode(ch)
 }
 
+// workItem identifies one ready step of one image — the unit the compute
+// thread consumes. The explicit struct replaces the seed's packed
+// `img<<16 | step` token, which silently corrupted for plans with 2^16 or
+// more steps.
+type workItem struct {
+	img  uint32
+	step int
+}
+
+// workQueue is an unbounded FIFO of ready steps. Enqueueing never blocks,
+// which is what makes self-routed chunks safe: deliver runs on the compute
+// thread when a step's output feeds a step on the same provider, and a
+// bounded channel there deadlocks as soon as the ready-step fan-out exceeds
+// the channel capacity with nobody left draining it (the compute thread is
+// both producer and consumer).
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []workItem
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a ready step; it never blocks.
+func (q *workQueue) push(w workItem) {
+	q.mu.Lock()
+	q.items = append(q.items, w)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop dequeues the next ready step, blocking until one is available or the
+// queue is closed (second return false). A closed queue abandons any still
+// queued work immediately, so teardown never sits through queued emulated
+// compute sleeps.
+func (q *workQueue) pop() (workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return workItem{}, false
+	}
+	w := q.items[0]
+	q.items = q.items[1:]
+	return w, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// imageState is one in-flight image's assembly state on a provider: which
+// chunks have arrived and which steps have already been handed to the
+// compute thread. The explicit scheduled set replaces the seed's
+// chunkKey{-100, si, 0} sentinel, which collided with a legitimate volume
+// id of -100.
+type imageState struct {
+	arrived   map[chunkKey]bool
+	scheduled []bool // indexed by step
+}
+
 // Provider is one service provider node: a TCP listener plus the three
 // worker goroutines of Section V-A (receive, compute, send).
 type Provider struct {
@@ -50,20 +121,24 @@ type Provider struct {
 	peerAddrs map[int]string
 	peerMu    sync.Mutex
 
-	inbox    chan Chunk
-	computeQ chan int // step index ready to run
-	outbox   chan Chunk
+	inbox  chan Chunk
+	work   *workQueue
+	outbox chan Chunk
 
-	mu      sync.Mutex
-	arrived map[uint32]map[chunkKey]bool // image -> received needs
-	done    chan struct{}
-	wg      sync.WaitGroup
-	closed  sync.Once
-	rec     statsRecorder
+	mu     sync.Mutex
+	images map[uint32]*imageState // in-flight image -> assembly state
+	minImg uint32                 // images below this are gc'ed; late chunks dropped
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+	rec    statsRecorder
+	fail   func(error) // cluster-level error sink; nil drops errors
 }
 
-// newProvider starts a provider listening on localhost.
-func newProvider(plan ProviderPlan) (*Provider, error) {
+// newProvider starts a provider listening on localhost. Errors that occur
+// while the provider is live (not shutting down) are reported to fail.
+func newProvider(plan ProviderPlan, fail func(error)) (*Provider, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -74,10 +149,11 @@ func newProvider(plan ProviderPlan) (*Provider, error) {
 		peers:     make(map[int]*conn),
 		peerAddrs: make(map[int]string),
 		inbox:     make(chan Chunk, 256),
-		computeQ:  make(chan int, 64),
+		work:      newWorkQueue(),
 		outbox:    make(chan Chunk, 256),
-		arrived:   make(map[uint32]map[chunkKey]bool),
+		images:    make(map[uint32]*imageState),
 		done:      make(chan struct{}),
+		fail:      fail,
 	}
 	p.wg.Add(4)
 	go p.acceptLoop()
@@ -95,6 +171,12 @@ func (p *Provider) setPeers(addrs map[int]string) {
 	defer p.peerMu.Unlock()
 	for k, v := range addrs {
 		p.peerAddrs[k] = v
+	}
+}
+
+func (p *Provider) report(err error) {
+	if p.fail != nil {
+		p.fail(err)
 	}
 }
 
@@ -139,41 +221,53 @@ func (p *Provider) recvLoop() {
 	}
 }
 
-// deliver marks a chunk arrived and schedules ready steps.
+// deliver marks a chunk arrived and schedules ready steps. It never blocks
+// (the ready queue is unbounded), so it is safe to call from both the
+// receive thread and — for self-routed chunks — the compute thread.
 func (p *Provider) deliver(ch Chunk) {
 	p.mu.Lock()
 	img := ch.Image
-	m, ok := p.arrived[img]
-	if !ok {
-		m = make(map[chunkKey]bool)
-		p.arrived[img] = m
+	if img < p.minImg {
+		// Late chunk for a completed, gc'ed image: dropping it (rather than
+		// resurrecting empty assembly state) guarantees no step ever runs
+		// twice.
+		p.mu.Unlock()
+		return
 	}
-	m[chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)}] = true
+	st, ok := p.images[img]
+	if !ok {
+		st = &imageState{
+			arrived:   make(map[chunkKey]bool),
+			scheduled: make([]bool, len(p.plan.Steps)),
+		}
+		p.images[img] = st
+	}
+	st.arrived[chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)}] = true
 
 	var ready []int
-	for si, st := range p.plan.Steps {
-		if m[chunkKey{-100, si, 0}] { // already scheduled marker
+	for si := range p.plan.Steps {
+		if st.scheduled[si] {
+			continue
+		}
+		needs := p.plan.Steps[si].Needs
+		if len(needs) == 0 {
 			continue
 		}
 		all := true
-		for _, need := range st.Needs {
-			if !m[chunkKey{need.Volume, need.Lo, need.Hi}] {
+		for _, need := range needs {
+			if !st.arrived[chunkKey{need.Volume, need.Lo, need.Hi}] {
 				all = false
 				break
 			}
 		}
-		if all && len(st.Needs) > 0 {
-			m[chunkKey{-100, si, 0}] = true
+		if all {
+			st.scheduled[si] = true
 			ready = append(ready, si)
 		}
 	}
 	p.mu.Unlock()
 	for _, si := range ready {
-		select {
-		case p.computeQ <- int(img)<<16 | si:
-		case <-p.done:
-			return
-		}
+		p.work.push(workItem{img: img, step: si})
 	}
 }
 
@@ -183,33 +277,31 @@ func (p *Provider) deliver(ch Chunk) {
 func (p *Provider) computeLoop() {
 	defer p.wg.Done()
 	for {
-		select {
-		case <-p.done:
+		w, ok := p.work.pop()
+		if !ok {
 			return
-		case token := <-p.computeQ:
-			img := uint32(token >> 16)
-			st := p.plan.Steps[token&0xffff]
-			if st.ComputeSec > 0 {
-				time.Sleep(time.Duration(st.ComputeSec * float64(time.Second)))
+		}
+		st := &p.plan.Steps[w.step]
+		if st.ComputeSec > 0 {
+			time.Sleep(time.Duration(st.ComputeSec * float64(time.Second)))
+		}
+		p.rec.addCompute(st.ComputeSec)
+		for _, r := range st.Routes {
+			ch := Chunk{
+				Image:   w.img,
+				Volume:  int32(st.Volume),
+				Lo:      int32(r.Lo),
+				Hi:      int32(r.Hi),
+				Payload: make([]byte, (r.Hi-r.Lo)*st.RowBytes),
 			}
-			p.rec.addCompute(st.ComputeSec)
-			for _, r := range st.Routes {
-				ch := Chunk{
-					Image:   img,
-					Volume:  int32(st.Volume),
-					Lo:      int32(r.Lo),
-					Hi:      int32(r.Hi),
-					Payload: make([]byte, (r.Hi-r.Lo)*st.RowBytes),
-				}
-				if r.Dest == p.plan.Index {
-					p.deliver(ch)
-					continue
-				}
-				select {
-				case p.outbox <- markDest(ch, r.Dest):
-				case <-p.done:
-					return
-				}
+			if r.Dest == p.plan.Index {
+				p.deliver(ch)
+				continue
+			}
+			select {
+			case p.outbox <- markDest(ch, r.Dest):
+			case <-p.done:
+				return
 			}
 		}
 	}
@@ -223,6 +315,8 @@ func markDest(ch Chunk, dest int) Chunk {
 }
 
 // sendLoop is the send thread: it dials peers lazily and ships chunks.
+// Failures while the cluster is live are reported so the requester can fail
+// the run immediately instead of waiting out the per-image timeout.
 func (p *Provider) sendLoop() {
 	defer p.wg.Done()
 	for {
@@ -233,7 +327,12 @@ func (p *Provider) sendLoop() {
 			dest := ch.destHint
 			ch.destHint = 0
 			if err := p.sendTo(dest, ch); err != nil {
-				// Peer gone: drop (cluster is shutting down).
+				select {
+				case <-p.done:
+					// Shutting down: connection teardown is expected.
+				default:
+					p.report(fmt.Errorf("runtime: provider %d send to %d: %w", p.plan.Index, dest, err))
+				}
 				continue
 			}
 			p.rec.addSent()
@@ -262,12 +361,18 @@ func (p *Provider) sendTo(dest int, ch Chunk) error {
 	return o.send(ch)
 }
 
-// gc drops assembly state for completed images.
+// gc drops assembly state for every image below `before`. The requester
+// advances `before` only past images whose results it has fully assembled,
+// so with a window of in-flight images an early finisher never tears down
+// state a straggler still needs.
 func (p *Provider) gc(before uint32) {
 	p.mu.Lock()
-	for img := range p.arrived {
-		if img < before {
-			delete(p.arrived, img)
+	if before > p.minImg {
+		p.minImg = before
+	}
+	for img := range p.images {
+		if img < p.minImg {
+			delete(p.images, img)
 		}
 	}
 	p.mu.Unlock()
@@ -277,6 +382,7 @@ func (p *Provider) gc(before uint32) {
 func (p *Provider) close() {
 	p.closed.Do(func() {
 		close(p.done)
+		p.work.close()
 		p.ln.Close()
 		p.peerMu.Lock()
 		for _, o := range p.peers {

@@ -2,8 +2,11 @@
 // localhost, reproducing the paper's deployment (Section V-A): a controller
 // derives per-provider plans from the strategy, split-part weights are
 // preloaded, each provider runs three goroutines (receive, compute, send)
-// sharing queues, and the requester streams images one at a time — an image
-// is not sent until the previous result returns.
+// sharing queues, and the requester streams images through an admission
+// window — Run keeps one image in flight (the paper's protocol: an image is
+// not sent until the previous result returns), RunPipelined keeps K in
+// flight so providers overlap different images' steps and the run measures
+// sustained throughput.
 //
 // Compute is emulated: providers sleep for the device model's latency
 // (scaled by Options.TimeScale) instead of running CUDA kernels, and
@@ -14,6 +17,7 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"distredge/internal/cnn"
 	"distredge/internal/device"
@@ -24,13 +28,17 @@ import (
 // RequesterID is the destination index denoting the service requester.
 const RequesterID = -1
 
-// Options tunes the emulation scales.
+// Options tunes the emulation scales and run limits.
 type Options struct {
 	// TimeScale multiplies emulated compute sleeps (1.0 = model latency;
 	// tests use small values).
 	TimeScale float64
 	// BytesScale multiplies payload sizes (1.0 = real activation bytes).
 	BytesScale float64
+	// Timeout bounds how long the requester waits for any single image
+	// before failing the run (default 30s). Cluster-level errors — dead
+	// peers, failed sends — abort runs immediately, without waiting it out.
+	Timeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +47,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BytesScale == 0 {
 		o.BytesScale = 1
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
 	}
 	return o
 }

@@ -15,35 +15,62 @@ import (
 // bookkeeping needed to stream images through them.
 type Cluster struct {
 	plan      *Plan
+	opts      Options
 	providers []*Provider
 
 	ln      net.Listener
 	resMu   sync.Mutex
 	pending map[uint32]map[chunkKey]bool
 	arrived map[uint32]chan struct{}
-	links   map[int]*conn
-	linkMu  sync.Mutex
-	done    chan struct{}
-	closed  sync.Once
+	// completed / gcLow implement the window-aware gc watermark: provider
+	// state is dropped only below the lowest image that has not completed.
+	completed map[uint32]bool
+	gcLow     uint32
+	nextImg   uint32 // monotonic across runs, so image ids are never reused
+
+	links  map[int]*conn
+	linkMu sync.Mutex
+	done   chan struct{}
+	closed sync.Once
+
+	failOnce sync.Once
+	failed   chan struct{}
+	failErr  error
 }
 
 // Deploy builds the plan for a strategy and starts one provider per device
 // on localhost.
 func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
 	plan, err := BuildPlan(env, strat, opts)
 	if err != nil {
 		return nil, err
 	}
 	c := &Cluster{
-		plan:    plan,
-		pending: make(map[uint32]map[chunkKey]bool),
-		arrived: make(map[uint32]chan struct{}),
-		links:   make(map[int]*conn),
-		done:    make(chan struct{}),
+		plan:      plan,
+		opts:      opts,
+		pending:   make(map[uint32]map[chunkKey]bool),
+		arrived:   make(map[uint32]chan struct{}),
+		completed: make(map[uint32]bool),
+		gcLow:     1,
+		links:     make(map[int]*conn),
+		done:      make(chan struct{}),
+		failed:    make(chan struct{}),
+	}
+	// Providers report errors through the cluster unless cluster-wide
+	// teardown has begun: Close tears providers down one by one, so a
+	// not-yet-closed provider's send to an already-closed peer must not
+	// record a spurious failure after a clean run.
+	reportUnlessClosing := func(err error) {
+		select {
+		case <-c.done:
+		default:
+			c.fail(err)
+		}
 	}
 	addrs := make(map[int]string)
 	for _, pp := range plan.Providers {
-		p, err := newProvider(pp)
+		p, err := newProvider(pp, reportUnlessClosing)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -68,6 +95,26 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 
 // Addr returns the requester's result listener address.
 func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// fail records the first error observed anywhere in the cluster and wakes
+// every waiter, so a dead peer surfaces immediately instead of after the
+// per-image timeout.
+func (c *Cluster) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr = err
+		close(c.failed)
+	})
+}
+
+// Err returns the first error the cluster recorded, or nil while healthy.
+func (c *Cluster) Err() error {
+	select {
+	case <-c.failed:
+		return c.failErr
+	default:
+		return nil
+	}
+}
 
 func (c *Cluster) acceptResults() {
 	for {
@@ -97,6 +144,40 @@ func (c *Cluster) acceptResults() {
 				c.resMu.Unlock()
 			}
 		}()
+	}
+}
+
+// register allocates the next image id and arms its completion tracking.
+func (c *Cluster) register() (uint32, chan struct{}) {
+	done := make(chan struct{})
+	c.resMu.Lock()
+	c.nextImg++
+	img := c.nextImg
+	m := make(map[chunkKey]bool, len(c.plan.Await))
+	for _, a := range c.plan.Await {
+		m[chunkKey{a.Volume, a.Lo, a.Hi}] = true
+	}
+	c.pending[img] = m
+	c.arrived[img] = done
+	c.resMu.Unlock()
+	return img, done
+}
+
+// complete records a finished image and advances the gc watermark: provider
+// assembly state is dropped only once every image at or below it has
+// completed, so an early finisher never tears down state a straggler in the
+// admission window still needs.
+func (c *Cluster) complete(img uint32) {
+	c.resMu.Lock()
+	c.completed[img] = true
+	for c.completed[c.gcLow] {
+		delete(c.completed, c.gcLow)
+		c.gcLow++
+	}
+	low := c.gcLow
+	c.resMu.Unlock()
+	for _, p := range c.providers {
+		p.gc(low)
 	}
 }
 
@@ -137,46 +218,83 @@ func (c *Cluster) sendToProvider(dest int, ch Chunk) error {
 // RunStats summarises a streaming run over the cluster.
 type RunStats struct {
 	Images     int
+	Window     int // admission window the run used (1 = sequential)
 	TotalSec   float64
 	IPS        float64
-	PerImageMS []float64
+	PerImageMS []float64 // admission-to-completion latency per image
 }
 
-// Run streams `images` images through the deployed strategy, one at a time
-// (Section V-A's protocol), and returns timing statistics.
+// Run streams `images` images through the deployed strategy one at a time
+// (Section V-A's sequential protocol) and returns timing statistics.
 func (c *Cluster) Run(images int) (RunStats, error) {
+	return c.RunPipelined(images, 1)
+}
+
+// RunPipelined streams `images` images keeping up to `window` of them in
+// flight: a new image is admitted as soon as a slot frees, so providers
+// overlap different images' steps and the run measures sustained
+// throughput. Window 1 is the paper's one-image-at-a-time protocol.
+//
+// Errors anywhere in the cluster — a dead peer, a failed send, an image
+// exceeding Options.Timeout — abort the run immediately. Failure is
+// sticky: once a cluster has failed, its distributed assembly state is
+// suspect, so further runs are refused (redeploy to retry).
+func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 	if images < 1 {
 		return RunStats{}, fmt.Errorf("runtime: need at least one image")
 	}
-	stats := RunStats{Images: images}
+	if window < 1 {
+		return RunStats{}, fmt.Errorf("runtime: window must be >= 1, got %d", window)
+	}
+	if err := c.Err(); err != nil {
+		return RunStats{}, fmt.Errorf("runtime: cluster already failed: %w", err)
+	}
+	stats := RunStats{Images: images, Window: window, PerImageMS: make([]float64, images)}
+	timeout := c.opts.Timeout
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
 	start := time.Now()
+admit:
 	for i := 0; i < images; i++ {
-		img := uint32(i + 1)
-		done := make(chan struct{})
-		c.resMu.Lock()
-		m := make(map[chunkKey]bool, len(c.plan.Await))
-		for _, a := range c.plan.Await {
-			m[chunkKey{a.Volume, a.Lo, a.Hi}] = true
+		// Backpressure: wait for a free slot in the admission window, or
+		// stop admitting the moment anything failed.
+		select {
+		case sem <- struct{}{}:
+		case <-c.failed:
+			break admit
+		case <-c.done:
+			c.fail(fmt.Errorf("runtime: cluster closed during run"))
+			break admit
 		}
-		c.pending[img] = m
-		c.arrived[img] = done
-		c.resMu.Unlock()
-
+		img, done := c.register()
 		t0 := time.Now()
 		if err := c.sendInput(img); err != nil {
-			return stats, err
+			c.fail(fmt.Errorf("runtime: scatter image %d: %w", img, err))
+			break admit
 		}
-		select {
-		case <-done:
-		case <-time.After(30 * time.Second):
-			return stats, fmt.Errorf("runtime: image %d timed out", img)
-		}
-		stats.PerImageMS = append(stats.PerImageMS, float64(time.Since(t0).Microseconds())/1e3)
-		for _, p := range c.providers {
-			p.gc(img)
-		}
+		wg.Add(1)
+		go func(slot int, img uint32, t0 time.Time, done <-chan struct{}) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			timer := time.NewTimer(timeout)
+			defer timer.Stop()
+			select {
+			case <-done:
+				stats.PerImageMS[slot] = float64(time.Since(t0).Microseconds()) / 1e3
+				c.complete(img)
+			case <-timer.C:
+				c.fail(fmt.Errorf("runtime: image %d timed out after %s", img, timeout))
+			case <-c.failed:
+			case <-c.done:
+				c.fail(fmt.Errorf("runtime: cluster closed during run"))
+			}
+		}(i, img, t0, done)
 	}
+	wg.Wait()
 	stats.TotalSec = time.Since(start).Seconds()
+	if err := c.Err(); err != nil {
+		return stats, err
+	}
 	stats.IPS = float64(images) / stats.TotalSec
 	return stats, nil
 }

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distredge/internal/network"
+	"distredge/internal/strategy"
+)
+
+// PipelineResult summarises a pipelined streaming evaluation: `Window`
+// images are kept in flight at once (admission is FIFO — image m enters the
+// moment image m-Window completes), so the result measures sustained
+// throughput rather than the sequential latency Stream reports.
+type PipelineResult struct {
+	Images   int
+	Window   int
+	TotalSec float64 // first admission to last completion
+	IPS      float64 // Images / TotalSec
+	// SteadyIPS is the throughput over the second half of the stream, after
+	// the pipeline has filled — the sustained-serving rate.
+	SteadyIPS float64
+
+	// Per-image latency distribution (admission to completion, seconds).
+	// Queueing on busy devices and links is included, so for Window > 1
+	// these exceed the single-image oracle latency.
+	PerImageSec []float64
+	MeanLatMS   float64
+	P50LatMS    float64
+	P95LatMS    float64
+	MaxLatMS    float64
+}
+
+// pipeState carries resource occupancy across in-flight images: when each
+// provider's compute unit, each directed link, and the requester's scatter
+// uplink free up (absolute trace time). Within one image the engine replays
+// the oracle schedule of CompiledPlan.run unchanged; the carryover only
+// floors the image's start times, so overlapping images queue on devices
+// and links while a lone image (window 1) reproduces Stream bit-for-bit.
+type pipeState struct {
+	n        int
+	devFree  []float64 // provider compute unit frees, absolute
+	linkFree []float64 // (n+1)^2 directed pairs incl. requester, absolute
+	upFree   float64   // requester scatter uplink frees, absolute
+
+	// Per-image scratch: end times relative to the image's admission.
+	devFloor []float64
+	linkEnd  []float64
+	upEnd    float64
+}
+
+func newPipeState(n int) *pipeState {
+	ps := &pipeState{
+		n:        n,
+		devFree:  make([]float64, n),
+		linkFree: make([]float64, (n+1)*(n+1)),
+		upFree:   math.Inf(-1),
+		devFloor: make([]float64, n),
+		linkEnd:  make([]float64, (n+1)*(n+1)),
+	}
+	for i := range ps.devFree {
+		ps.devFree[i] = math.Inf(-1)
+	}
+	for i := range ps.linkFree {
+		ps.linkFree[i] = math.Inf(-1)
+	}
+	return ps
+}
+
+// linkIdx maps a directed (from, to) pair (network.Requester = -1 allowed on
+// either side) to a flat index.
+func (ps *pipeState) linkIdx(from, to int) int {
+	return (from+1)*(ps.n+1) + (to + 1)
+}
+
+// floor returns the relative busy floor of an absolute free time for an
+// image admitted at `at` (never negative).
+func floor(freeAbs, at float64) float64 {
+	f := freeAbs - at
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// runPipelined replays the plan for one image admitted at absolute time
+// `at`, flooring start times with the carried resource occupancy and
+// recording this image's own occupancy back into ps. It returns the image's
+// end-to-end latency (relative to `at`). When every carried floor is in the
+// past — always true for window 1 — the float operations are exactly those
+// of run, so the latency is bit-identical.
+func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
+	net := p.env.Net
+	for i := range p.acc {
+		p.acc[i] = 0
+		p.busy[i] = floor(ps.devFree[i], at)
+		ps.devFloor[i] = p.busy[i]
+	}
+	for i := range ps.linkEnd {
+		ps.linkEnd[i] = -1
+	}
+	upFloor := floor(ps.upFree, at)
+	ps.upEnd = -1
+
+	for v := range p.vols {
+		copy(p.accNext, p.acc)
+		parts := p.vols[v].parts
+		for i := range parts {
+			cp := &parts[i]
+			if !cp.active {
+				continue
+			}
+			var arrive float64
+			if cp.hasIn {
+				if v == 0 {
+					// Scatter starts once the uplink has finished pumping
+					// the previous in-flight images' inputs.
+					tr := net.TransferLatency(network.Requester, i, cp.scatterB, at+upFloor)
+					arrive = upFloor + tr
+					if arrive > ps.upEnd {
+						ps.upEnd = arrive
+					}
+				} else {
+					for _, src := range cp.srcs {
+						t := p.acc[src.j]
+						if src.j != i {
+							li := ps.linkIdx(src.j, i)
+							if lf := floor(ps.linkFree[li], at); lf > t {
+								t = lf
+							}
+							tr := net.TransferLatency(src.j, i, src.bytes, at+t)
+							t += tr
+							if t > ps.linkEnd[li] {
+								ps.linkEnd[li] = t
+							}
+						}
+						if t > arrive {
+							arrive = t
+						}
+					}
+				}
+			}
+			start := arrive
+			if p.busy[i] > start {
+				start = p.busy[i]
+			}
+			finish := start + cp.comp
+			p.busy[i] = finish
+			p.accNext[i] = finish
+		}
+		p.acc, p.accNext = p.accNext, p.acc
+	}
+
+	var end float64
+	if p.fcOwner < 0 {
+		// Fully-convolutional: providers return their rows directly.
+		for _, f := range p.finish {
+			t := p.acc[f.j]
+			li := ps.linkIdx(f.j, network.Requester)
+			if lf := floor(ps.linkFree[li], at); lf > t {
+				t = lf
+			}
+			t += net.TransferLatency(f.j, network.Requester, f.bytes, at+t)
+			if t > ps.linkEnd[li] {
+				ps.linkEnd[li] = t
+			}
+			if t > end {
+				end = t
+			}
+		}
+	} else {
+		ready := p.acc[p.fcOwner]
+		for _, f := range p.finish {
+			t := p.acc[f.j]
+			li := ps.linkIdx(f.j, p.fcOwner)
+			if lf := floor(ps.linkFree[li], at); lf > t {
+				t = lf
+			}
+			t += net.TransferLatency(f.j, p.fcOwner, f.bytes, at+t)
+			if t > ps.linkEnd[li] {
+				ps.linkEnd[li] = t
+			}
+			if t > ready {
+				ready = t
+			}
+		}
+		start := ready
+		if p.busy[p.fcOwner] > start {
+			start = p.busy[p.fcOwner]
+		}
+		done := start + p.fcLat
+		p.busy[p.fcOwner] = done
+		li := ps.linkIdx(p.fcOwner, network.Requester)
+		t := done
+		if lf := floor(ps.linkFree[li], at); lf > t {
+			t = lf
+		}
+		end = t + net.TransferLatency(p.fcOwner, network.Requester, p.resultBytes, at+t)
+		if end > ps.linkEnd[li] {
+			ps.linkEnd[li] = end
+		}
+	}
+
+	// Merge this image's occupancy back into the carried state. Only
+	// resources the image actually used are touched, so idle devices do not
+	// accumulate rounding drift from the relative/absolute round trip.
+	for i := range p.busy {
+		if p.busy[i] > ps.devFloor[i] {
+			if abs := at + p.busy[i]; abs > ps.devFree[i] {
+				ps.devFree[i] = abs
+			}
+		}
+	}
+	for li, e := range ps.linkEnd {
+		if e >= 0 {
+			if abs := at + e; abs > ps.linkFree[li] {
+				ps.linkFree[li] = abs
+			}
+		}
+	}
+	if ps.upEnd >= 0 {
+		if abs := at + ps.upEnd; abs > ps.upFree {
+			ps.upFree = abs
+		}
+	}
+	return end
+}
+
+// PipelineStream evaluates the strategy over `images` images with up to
+// `window` images in flight, starting at trace time `start`. Admission is
+// FIFO: image m is sent the moment image m-window completes (window 1 is
+// exactly Stream's one-at-a-time protocol, and reproduces its TotalSec and
+// IPS bit-for-bit). Overlapping images queue on the shared resources —
+// per-provider compute units, every directed link, and the requester's
+// scatter uplink — so the result measures the sustained images/sec the
+// deployment can serve plus the per-image latency distribution under load.
+func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start float64) (PipelineResult, error) {
+	if images <= 0 {
+		return PipelineResult{}, fmt.Errorf("sim: need at least 1 image")
+	}
+	if window < 1 {
+		return PipelineResult{}, fmt.Errorf("sim: window must be >= 1, got %d", window)
+	}
+	p, err := e.checkoutPlan(s)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	ps := newPipeState(e.NumProviders())
+	complete := make([]float64, images)
+	perImage := make([]float64, images)
+	adm := start
+	for m := 0; m < images; m++ {
+		if m >= window {
+			if c := complete[m-window]; c > adm {
+				adm = c
+			}
+		}
+		lat := p.runPipelined(adm, ps)
+		perImage[m] = lat
+		complete[m] = adm + lat
+	}
+	e.checkinPlan(p)
+
+	res := PipelineResult{
+		Images:      images,
+		Window:      window,
+		TotalSec:    complete[images-1] - start,
+		PerImageSec: perImage,
+	}
+	res.IPS = float64(images) / res.TotalSec
+	if half := images / 2; half >= 1 && images > half {
+		span := complete[images-1] - complete[half-1]
+		if span > 0 {
+			res.SteadyIPS = float64(images-half) / span
+		} else {
+			res.SteadyIPS = res.IPS
+		}
+	} else {
+		res.SteadyIPS = res.IPS
+	}
+
+	sorted := append([]float64(nil), perImage...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	res.MeanLatMS = sum / float64(images) * 1e3
+	res.P50LatMS = quantile(sorted, 0.50) * 1e3
+	res.P95LatMS = quantile(sorted, 0.95) * 1e3
+	res.MaxLatMS = sorted[images-1] * 1e3
+	return res, nil
+}
+
+// quantile returns the q-quantile of a sorted slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}

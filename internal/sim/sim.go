@@ -273,7 +273,10 @@ func (x *Exec) gather(i int, in cnn.RowRange, rowBytes float64) float64 {
 		return 0
 	}
 	if x.vol == 0 {
-		// Requester scatters the input image rows.
+		// Requester scatters the input image rows. Within one image the
+		// scatter transfers are idealised as concurrent (the oracle model
+		// the whole evaluation is calibrated on); PipelineStream adds the
+		// uplink serialisation that matters once images overlap.
 		bytes := float64(in.Len()) * rowBytes
 		tr := x.env.Net.TransferLatency(network.Requester, i, bytes, x.at)
 		x.bd.PerDevTrans[i] += tr

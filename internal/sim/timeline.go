@@ -58,7 +58,9 @@ func (e *Env) Timeline(s *strategy.Strategy, at float64) ([]Event, float64, erro
 			}
 			in := cnn.VolumeInputRows(layers, part)
 			var arrive float64
-			if owner == nil {
+			if in.Empty() {
+				// No input rows needed: nothing arrives, nothing queues.
+			} else if owner == nil {
 				tr := e.Net.TransferLatency(network.Requester, i, float64(in.Len())*layers[0].InRowBytes(), at)
 				if tr > 0 {
 					events = append(events, Event{Device: i, Volume: v, Kind: EventScatter, Start: 0, End: tr})

@@ -2,9 +2,12 @@ package sim
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
+	"distredge/internal/cnn"
 	"distredge/internal/device"
 	"distredge/internal/strategy"
 )
@@ -41,6 +44,77 @@ func TestTimelineMatchesLatency(t *testing.T) {
 	}
 	if math.Abs(maxEnd-total) > 1e-9 {
 		t.Errorf("max event end %g != total %g", maxEnd, total)
+	}
+}
+
+// randomStrategy draws a valid strategy uniformly-ish: random volume
+// boundaries, random sorted cut points (empty parts included).
+func randomStrategy(rng *rand.Rand, m *cnn.Model, n int) *strategy.Strategy {
+	nl := m.NumSplittable()
+	b := []int{0}
+	for l := 1; l < nl; l++ {
+		if rng.Float64() < 0.25 {
+			b = append(b, l)
+		}
+	}
+	b = append(b, nl)
+	s := &strategy.Strategy{Boundaries: b}
+	for v := 0; v+1 < len(b); v++ {
+		h := strategy.VolumeHeight(m, b, v)
+		cuts := make([]int, n-1)
+		for i := range cuts {
+			cuts[i] = rng.Intn(h + 1)
+		}
+		sort.Ints(cuts)
+		s.Splits = append(s.Splits, cuts)
+	}
+	return s
+}
+
+// TestTimelinePropertyMatchesLatency is the property test: for random
+// strategies on constant and time-varying networks, the final Timeline
+// event's End must equal the compiled-path Latency and the reference
+// per-image derivation bit-for-bit.
+func TestTimelinePropertyMatchesLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	envs := []*Env{
+		testEnv(150, device.Xavier, device.Nano, device.TX2, device.Nano),
+		equivEnv(t, false), // stable (time-varying) traces
+	}
+	for ei, env := range envs {
+		for iter := 0; iter < 30; iter++ {
+			s := randomStrategy(rng, env.Model, env.NumProviders())
+			for _, at := range []float64{0, 12.75} {
+				want, _, err := env.Latency(s, at)
+				if err != nil {
+					t.Fatalf("env %d iter %d: latency: %v", ei, iter, err)
+				}
+				ref, _, err := env.ReferenceLatency(s, at)
+				if err != nil {
+					t.Fatalf("env %d iter %d: reference: %v", ei, iter, err)
+				}
+				if want != ref {
+					t.Fatalf("env %d iter %d: compiled %.17g != reference %.17g", ei, iter, want, ref)
+				}
+				events, total, err := env.Timeline(s, at)
+				if err != nil {
+					t.Fatalf("env %d iter %d: timeline: %v", ei, iter, err)
+				}
+				if total != want {
+					t.Errorf("env %d iter %d at %g: timeline total %.17g != latency %.17g",
+						ei, iter, at, total, want)
+				}
+				var maxEnd float64
+				for _, ev := range events {
+					if ev.End > maxEnd {
+						maxEnd = ev.End
+					}
+				}
+				if maxEnd != total {
+					t.Errorf("env %d iter %d: final event end %.17g != total %.17g", ei, iter, maxEnd, total)
+				}
+			}
+		}
 	}
 }
 
