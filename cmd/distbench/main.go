@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16 or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn' or 'all'")
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
 	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
-	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 throughput sweep")
+	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 and churn sweeps")
+	fracs := flag.String("failfracs", "0.25,0.5,0.75", "failure times for the churn sweep, as fractions of the churn-free run")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -55,25 +56,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -windows %q: %v\n", *windows, err)
 		os.Exit(2)
 	}
+	failFracs, err := parseFracs(*fracs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -failfracs %q: %v\n", *fracs, err)
+		os.Exit(2)
+	}
 
-	figs := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn"}
 	if *fig != "all" {
-		n, err := strconv.Atoi(*fig)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -fig %q\n", *fig)
-			os.Exit(2)
-		}
-		figs = []int{n}
+		figs = []string{*fig}
 	}
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps, winSizes); err != nil {
-			fmt.Fprintf(os.Stderr, "fig %d: %v\n", f, err)
+		if err := run(f, b, *reps, winSizes, failFracs); err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", f, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(fig %d took %.1fs)\n\n", f, time.Since(start).Seconds())
+		fmt.Printf("(fig %s took %.1fs)\n\n", f, time.Since(start).Seconds())
 	}
+}
+
+func parseFracs(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("fraction %g outside (0,1)", f)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fractions")
+	}
+	return out, nil
 }
 
 func parseWindows(spec string) ([]int, error) {
@@ -98,8 +121,32 @@ func parseWindows(spec string) ([]int, error) {
 	return out, nil
 }
 
-func run(fig int, b experiments.Budget, reps int, windows []int) error {
-	switch fig {
+func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64) error {
+	if fig == "churn" {
+		header("Churn — goodput & time-to-recover under a mid-stream device failure")
+		rows, err := experiments.FigChurnRecovery(b, windows, failFracs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %7s %6s %5s %9s %11s %11s %9s %9s\n",
+			"case", "window", "fail@", "drop", "base IPS", "goodput on", "goodput off", "recov(s)", "requeued")
+		lastCase := ""
+		for _, r := range rows {
+			if r.Case != lastCase && lastCase != "" {
+				fmt.Println()
+			}
+			lastCase = r.Case
+			fmt.Printf("%-24s %7d %5.0f%% %5d %9.2f %11.2f %11.2f %9.3f %9d\n",
+				r.Case, r.Window, 100*r.FailFrac, r.DropDevice, r.BaseIPS,
+				r.GoodputOn, r.GoodputOff, r.RecoverSec, r.Requeued)
+		}
+		return nil
+	}
+	n, err := strconv.Atoi(fig)
+	if err != nil {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	switch n {
 	case 4:
 		header("Fig. 4 — stable WiFi throughput traces")
 		printTraces(experiments.Fig04StableTraces(b.Seed))
@@ -243,7 +290,7 @@ func run(fig int, b experiments.Budget, reps int, windows []int) error {
 				r.Case, r.Method, r.Window, r.IPS, r.SteadyIPS, r.MeanLatMS, r.P95LatMS, r.SpeedupVsSeq)
 		}
 	default:
-		return fmt.Errorf("unknown figure %d", fig)
+		return fmt.Errorf("unknown figure %d", n)
 	}
 	return nil
 }

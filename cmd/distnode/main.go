@@ -9,13 +9,16 @@
 // Usage:
 //
 //	distnode -model vgg16 -providers xavier:200,nano:200 -images 20 -timescale 0.1
+//	distnode -providers xavier:200,nano:200,tx2:200 -window 4 -recover -kill 1@0.5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"distredge"
 	"distredge/internal/runtime"
@@ -30,6 +33,9 @@ func main() {
 	bytescale := flag.Float64("bytescale", 0.01, "payload byte scale (1.0 = full activation sizes)")
 	effort := flag.String("effort", "tiny", "planning effort: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	recover := flag.Bool("recover", false, "survive provider deaths: quarantine, re-plan over survivors, re-scatter in-flight images")
+	killSpec := flag.String("kill", "", "chaos injection: comma-separated dev@seconds provider kills (wall clock after the run starts), e.g. 1@0.5")
+	heartbeat := flag.Duration("heartbeat", 0, "provider heartbeat period (0 = default 50ms, negative disables health tracking)")
 	flag.Parse()
 
 	providers, err := distredge.ParseProviders(*provSpec)
@@ -46,22 +52,84 @@ func main() {
 	}
 	fmt.Print(plan.Describe(*model))
 
-	cluster, err := sys.Deploy(plan, runtime.Options{TimeScale: *timescale, BytesScale: *bytescale})
+	kills, err := parseKills(*killSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster, err := sys.Deploy(plan, runtime.Options{
+		TimeScale:         *timescale,
+		BytesScale:        *bytescale,
+		Recover:           *recover,
+		HeartbeatInterval: *heartbeat,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Close()
 	fmt.Printf("deployed %d providers; requester at %s\n", cluster.NumProviders(), cluster.Addr())
 
-	stats, err := cluster.RunPipelined(*images, *window)
-	if err != nil {
-		fatal(err)
+	for _, k := range kills {
+		if k.dev < 0 || k.dev >= cluster.NumProviders() {
+			fatal(fmt.Errorf("-kill device %d out of range [0,%d)", k.dev, cluster.NumProviders()))
+		}
+		k := k
+		timer := time.AfterFunc(k.after, func() {
+			if err := cluster.KillProvider(k.dev); err != nil {
+				fmt.Printf("chaos: kill provider %d failed: %v\n", k.dev, err)
+				return
+			}
+			fmt.Printf("chaos: killed provider %d (t=%.2fs)\n", k.dev, k.after.Seconds())
+		})
+		defer timer.Stop()
 	}
-	fmt.Printf("streamed %d images (window %d) in %.2fs — %.2f images/sec\n",
-		stats.Images, stats.Window, stats.TotalSec, stats.IPS)
+
+	stats, runErr := cluster.RunPipelined(*images, *window)
+	fmt.Printf("streamed %d of %d images (window %d) in %.2fs — %.2f images/sec goodput\n",
+		stats.Completed, stats.Images, stats.Window, stats.TotalSec, stats.IPS)
+	if stats.Recoveries > 0 {
+		fmt.Printf("recovered %d time(s): re-planned in %.1fms, requeued %d in-flight images, quarantined %v; %d of %d providers live\n",
+			stats.Recoveries, stats.ReplanMS, stats.Requeued, stats.Quarantined,
+			cluster.LiveProviders(), cluster.NumProviders())
+	}
 	for i, ms := range stats.PerImageMS {
-		fmt.Printf("  image %2d: %7.1f ms\n", i+1, ms)
+		if ms > 0 {
+			fmt.Printf("  image %2d: %7.1f ms\n", i+1, ms)
+		} else {
+			fmt.Printf("  image %2d:    lost\n", i+1)
+		}
 	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+type killAt struct {
+	dev   int
+	after time.Duration
+}
+
+func parseKills(spec string) ([]killAt, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []killAt
+	for _, part := range strings.Split(spec, ",") {
+		devSpec, atSpec, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -kill %q (want dev@seconds)", part)
+		}
+		dev, err := strconv.Atoi(devSpec)
+		if err != nil {
+			return nil, fmt.Errorf("bad device in -kill %q: %v", part, err)
+		}
+		sec, err := strconv.ParseFloat(atSpec, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in -kill %q: %v", part, err)
+		}
+		out = append(out, killAt{dev: dev, after: time.Duration(sec * float64(time.Second))})
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -32,6 +32,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render a per-device Gantt chart of one image")
 	savePath := flag.String("save", "", "write the planned strategy to this JSON file")
 	loadPath := flag.String("load", "", "evaluate a previously saved strategy instead of planning")
+	churnSpec := flag.String("churn", "", "scripted fleet events, e.g. 'drop:1@2.5,slow:2x3@4,join:1@8' (see ParseChurn)")
+	noRecover := flag.Bool("norecover", false, "with -churn: disable re-planning, so a drop truncates the stream")
 	flag.Parse()
 
 	if *describe {
@@ -93,6 +95,31 @@ func main() {
 		}
 		fmt.Printf("%-14s IPS=%7.2f  steady=%7.2f  latency=%7.1fms  p95=%7.1fms  (window %d)\n",
 			"pipelined", prep.IPS, prep.SteadyIPS, prep.MeanLatMS, prep.P95LatMS, prep.Window)
+	}
+
+	if *churnSpec != "" {
+		events, err := distredge.ParseChurn(*churnSpec)
+		if err != nil {
+			fatal(err)
+		}
+		crep, err := sys.EvaluateChurn(plan, *images, *window, events, !*noRecover)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s goodput=%5.2f  completed=%d/%d  latency=%7.1fms  p95=%7.1fms  (window %d)\n",
+			"churn", crep.GoodputIPS, crep.Completed, *images, crep.MeanLatMS, crep.P95LatMS, crep.Window)
+		if crep.Recoveries > 0 {
+			fmt.Printf("               recovered %d time(s), requeued %d in-flight images", crep.Recoveries, crep.Requeued)
+			for i, rs := range crep.RecoverSec {
+				if rs >= 0 {
+					fmt.Printf("; event %d recovered in %.3fs", i+1, rs)
+				}
+			}
+			fmt.Println()
+		}
+		if crep.FailedAtSec >= 0 {
+			fmt.Printf("               stream truncated at t=%.2fs: %d images lost\n", crep.FailedAtSec, crep.Failed)
+		}
 	}
 
 	if *timeline {

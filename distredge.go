@@ -242,9 +242,89 @@ func (s *System) EvaluatePipelined(p *Plan, images, window int) (PipelineReport,
 // Deploy executes the plan over real TCP sockets on localhost with emulated
 // compute (see internal/runtime). Close the returned cluster when done.
 // Cluster.Run streams sequentially; Cluster.RunPipelined keeps an admission
-// window of images in flight.
+// window of images in flight. With opts.Recover, a provider dying mid-run
+// is quarantined and the strategy re-planned over the survivors instead of
+// failing the run.
 func (s *System) Deploy(p *Plan, opts runtime.Options) (*runtime.Cluster, error) {
 	return runtime.Deploy(s.env, p.Strategy, opts)
+}
+
+// ChurnEvent is one scripted fleet change for EvaluateChurn: Kind is
+// "drop", "join" or "slow" (Factor = compute-latency multiplier), Device a
+// provider index, AtSec an absolute trace time.
+type ChurnEvent struct {
+	AtSec  float64
+	Kind   string
+	Device int
+	Factor float64
+}
+
+func (e ChurnEvent) toSim() (sim.ChurnEvent, error) {
+	out := sim.ChurnEvent{At: e.AtSec, Device: e.Device, Factor: e.Factor}
+	switch e.Kind {
+	case "drop":
+		out.Kind = sim.DeviceDrop
+	case "join":
+		out.Kind = sim.DeviceJoin
+	case "slow":
+		out.Kind = sim.DeviceSlow
+	default:
+		return out, fmt.Errorf("distredge: unknown churn kind %q (want drop|join|slow)", e.Kind)
+	}
+	return out, nil
+}
+
+// ChurnReport summarises a streaming evaluation under scripted device
+// churn. GoodputIPS counts only committed images; with recovery disabled a
+// drop truncates the stream (Failed > 0, FailedAtSec set).
+type ChurnReport struct {
+	Window      int
+	Completed   int
+	Failed      int
+	Recoveries  int
+	Requeued    int
+	GoodputIPS  float64
+	MeanLatMS   float64
+	P95LatMS    float64
+	FailedAtSec float64   // -1 when the stream survived
+	RecoverSec  []float64 // per applied event: time to the first completion after it
+}
+
+// EvaluateChurn streams `images` images through the plan on the simulator
+// while the provider fleet churns according to the scripted events
+// (sim.ChurnStream). With recover, each event re-plans the strategy over
+// the surviving devices using the profile-guided re-planner and re-admits
+// the in-flight images; without it a device drop truncates the stream —
+// the runtime's sticky-failure semantics.
+func (s *System) EvaluateChurn(p *Plan, images, window int, events []ChurnEvent, recover bool) (ChurnReport, error) {
+	simEvents := make([]sim.ChurnEvent, len(events))
+	for i, e := range events {
+		ev, err := e.toSim()
+		if err != nil {
+			return ChurnReport{}, err
+		}
+		simEvents[i] = ev
+	}
+	res, err := s.env.ChurnStream(p.Strategy, images, window, 0, simEvents, sim.ChurnOptions{
+		Recover:   recover,
+		ReplanSec: experiments.ChurnReplanChargeSec,
+		Replan:    splitter.BalancedReplan,
+	})
+	if err != nil {
+		return ChurnReport{}, err
+	}
+	return ChurnReport{
+		Window:      res.Window,
+		Completed:   res.Completed,
+		Failed:      res.Failed,
+		Recoveries:  res.Recoveries,
+		Requeued:    res.Requeued,
+		GoodputIPS:  res.IPS,
+		MeanLatMS:   res.MeanLatMS,
+		P95LatMS:    res.P95LatMS,
+		FailedAtSec: res.FailedAtSec,
+		RecoverSec:  append([]float64(nil), res.EventRecoverySec...),
+	}, nil
 }
 
 // Describe renders the strategy in human-readable form.

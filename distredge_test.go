@@ -247,3 +247,65 @@ func TestSaveLoadPlan(t *testing.T) {
 		t.Error("cross-model plan load must fail")
 	}
 }
+
+func TestParseChurn(t *testing.T) {
+	events, err := ParseChurn("drop:1@2.5, slow:2x3@4 ,join:1@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChurnEvent{
+		{Kind: "drop", Device: 1, AtSec: 2.5, Factor: 1},
+		{Kind: "slow", Device: 2, AtSec: 4, Factor: 3},
+		{Kind: "join", Device: 1, AtSec: 8, Factor: 1},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+	if ev, err := ParseChurn(""); err != nil || ev != nil {
+		t.Errorf("empty spec: %v %v", ev, err)
+	}
+	for _, bad := range []string{"drop:1", "drop@2", "slow:1@2", "drop:x@2", "drop:1@x"} {
+		if _, err := ParseChurn(bad); err == nil {
+			t.Errorf("spec %q must error", bad)
+		}
+	}
+}
+
+func TestEvaluateChurn(t *testing.T) {
+	sys, err := New("vgg16", fourProviders(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Baseline("CoEdge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.EvaluatePipelined(plan, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failAt := 0.5 * float64(40) / base.IPS
+	events := []ChurnEvent{{Kind: "drop", Device: 0, AtSec: failAt}}
+	on, err := sys.EvaluateChurn(plan, 40, 4, events, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Completed != 40 || on.Recoveries != 1 || on.FailedAtSec >= 0 {
+		t.Fatalf("recovered churn report wrong: %+v", on)
+	}
+	off, err := sys.EvaluateChurn(plan, 40, 4, events, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Completed >= 40 || off.Failed == 0 || off.FailedAtSec != failAt {
+		t.Fatalf("truncated churn report wrong: %+v", off)
+	}
+	if _, err := sys.EvaluateChurn(plan, 10, 1, []ChurnEvent{{Kind: "explode", Device: 0, AtSec: 1}}, true); err == nil {
+		t.Error("unknown event kind must error")
+	}
+}

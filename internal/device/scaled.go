@@ -1,0 +1,28 @@
+package device
+
+import (
+	"distredge/internal/cnn"
+)
+
+// scaledModel multiplies every latency of a base model by a constant
+// factor. It models a degraded device (thermal throttling, contention from
+// a co-located workload) without re-profiling: factor 2 means every compute
+// takes twice as long.
+type scaledModel struct {
+	base   LatencyModel
+	factor float64
+}
+
+func (s scaledModel) ComputeLatency(l cnn.Layer, rows int) float64 {
+	return s.factor * s.base.ComputeLatency(l, rows)
+}
+
+// Scaled wraps a latency model so all its predictions are multiplied by
+// factor (> 1 slower, < 1 faster). Factor 1 returns the base model
+// unchanged. Non-positive factors are clamped to 1.
+func Scaled(base LatencyModel, factor float64) LatencyModel {
+	if factor == 1 || factor <= 0 {
+		return base
+	}
+	return scaledModel{base: base, factor: factor}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigChurnRecovery runs the recovery sweep at tiny budget and checks
+// the structural invariants: full grid, recovery strictly beating
+// truncation on goodput, and a positive time-to-recover whenever images
+// were still in flight at the failure.
+func TestFigChurnRecovery(t *testing.T) {
+	b := Tiny()
+	windows := []int{1, 4}
+	fracs := []float64{0.5}
+	rows, err := FigChurnRecovery(b, windows, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(windows)*len(fracs) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(windows)*len(fracs))
+	}
+	for _, r := range rows {
+		if r.BaseIPS <= 0 || r.FailAtSec <= 0 {
+			t.Errorf("%s w=%d: degenerate row %+v", r.Case, r.Window, r)
+		}
+		if r.GoodputOn <= r.GoodputOff {
+			t.Errorf("%s w=%d f=%.2f: recovery goodput %.3f not above truncation %.3f",
+				r.Case, r.Window, r.FailFrac, r.GoodputOn, r.GoodputOff)
+		}
+		if r.CompletedOff >= b.StreamImages {
+			t.Errorf("%s w=%d: truncated run lost nothing (%d images)", r.Case, r.Window, r.CompletedOff)
+		}
+		if r.RecoverSec <= 0 {
+			t.Errorf("%s w=%d: no time-to-recover recorded", r.Case, r.Window)
+		}
+	}
+}
+
+// TestFigChurnRecoveryDeterministicAcrossWorkers pins the worker-pool
+// determinism contract for the new grid.
+func TestFigChurnRecoveryDeterministicAcrossWorkers(t *testing.T) {
+	b := Tiny()
+	windows := []int{2}
+	fracs := []float64{0.5}
+	serial := b
+	serial.Parallel = 1
+	parallel := b
+	parallel.Parallel = 4
+	a, err := FigChurnRecovery(serial, windows, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FigChurnRecovery(parallel, windows, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("rows differ across worker counts:\nserial:   %+v\nparallel: %+v", a, c)
+	}
+}

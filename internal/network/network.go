@@ -12,6 +12,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -27,12 +28,15 @@ type Trace struct {
 }
 
 // ThroughputAt returns the link throughput in bits/second at absolute time
-// t (seconds). Empty traces return 0.
+// t (seconds). Empty traces return 0. The trace extends periodically in
+// both directions: the slot index uses floor division, so negative times —
+// which int truncation toward zero would fold onto slot 0 — land on the
+// slot a periodic extension puts them in.
 func (tr *Trace) ThroughputAt(t float64) float64 {
 	if tr == nil || len(tr.Mbps) == 0 {
 		return 0
 	}
-	slot := int(t/tr.SlotSeconds) % len(tr.Mbps)
+	slot := int(math.Floor(t/tr.SlotSeconds)) % len(tr.Mbps)
 	if slot < 0 {
 		slot += len(tr.Mbps)
 	}

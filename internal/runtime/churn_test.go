@@ -1,0 +1,221 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"distredge/internal/device"
+	"distredge/internal/sim"
+	"distredge/internal/splitter"
+)
+
+// recoverOpts are the churn-test options: fast failure detection and
+// recovery enabled, compute-dominated scales so measured orderings are
+// robust to scheduler noise.
+func recoverOpts() Options {
+	return Options{
+		TimeScale:         0.1,
+		BytesScale:        0.001,
+		Recover:           true,
+		HeartbeatInterval: 15 * time.Millisecond,
+		HeartbeatMisses:   3,
+	}
+}
+
+// TestRecoverFromKilledProvider is the basic recovery path: a provider
+// dies mid-run, the cluster quarantines it, re-plans over the survivors
+// and finishes every image; the healed cluster serves another run.
+func TestRecoverFromKilledProvider(t *testing.T) {
+	env := testEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := stageStrategy(env, env.Model, []int{0, 10, 14, 18})
+	cl, err := Deploy(env, s, recoverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const images = 24
+	kill := time.AfterFunc(40*time.Millisecond, func() { cl.KillProvider(1) })
+	defer kill.Stop()
+	stats, err := cl.RunPipelined(images, 4)
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if stats.Completed != images {
+		t.Fatalf("completed %d of %d images", stats.Completed, images)
+	}
+	if stats.Recoveries < 1 {
+		t.Fatalf("no recovery recorded: %+v", stats)
+	}
+	if stats.Requeued == 0 {
+		t.Error("a mid-run kill must requeue in-flight images")
+	}
+	if stats.ReplanMS <= 0 {
+		t.Error("re-planning cost not recorded")
+	}
+	if len(stats.Quarantined) != 1 || stats.Quarantined[0] != 1 {
+		t.Errorf("quarantined = %v, want [1]", stats.Quarantined)
+	}
+	if cl.LiveProviders() != 3 {
+		t.Errorf("live providers = %d, want 3", cl.LiveProviders())
+	}
+	if cl.Err() != nil {
+		t.Errorf("recovered cluster must read healthy, got %v", cl.Err())
+	}
+	// The re-planned strategy gives the dead provider nothing.
+	cur := cl.Strategy()
+	for v := 0; v < cur.NumVolumes(); v++ {
+		if r := cur.PartRange(env.Model, v, 1); !r.Empty() {
+			t.Errorf("volume %d: quarantined provider 1 still planned for %v", v, r)
+		}
+	}
+	// Latencies of requeued images include the recovery stall but every
+	// completed image has a positive latency.
+	for i, ms := range stats.PerImageMS {
+		if ms <= 0 {
+			t.Errorf("image %d latency %gms", i, ms)
+		}
+	}
+	// The healed cluster keeps serving.
+	again, err := cl.RunPipelined(4, 2)
+	if err != nil {
+		t.Fatalf("post-recovery run failed: %v", err)
+	}
+	if again.Completed != 4 || again.Recoveries != 0 {
+		t.Errorf("post-recovery run stats wrong: %+v", again)
+	}
+	// Watermark invariant: with everything delivered or drained, the gc
+	// watermark must have passed every allocated id — a stall here means
+	// recovery leaked bookkeeping (and provider state) for an id whose
+	// waiter lost the done-vs-failed race.
+	cl.resMu.Lock()
+	pending, completedIDs, gcLow, nextImg := len(cl.pending), len(cl.completed), cl.gcLow, cl.nextImg
+	cl.resMu.Unlock()
+	if pending != 0 || completedIDs != 0 || gcLow != nextImg+1 {
+		t.Errorf("requester bookkeeping leaked: pending=%d completed=%d gcLow=%d nextImg=%d",
+			pending, completedIDs, gcLow, nextImg)
+	}
+}
+
+// TestRecoverUnplannableFailureSurfaces: when recovery cannot identify a
+// dead provider (a pure timeout with everyone still beating), the run must
+// fail with both causes instead of looping.
+func TestRecoverUnplannableFailureSurfaces(t *testing.T) {
+	env := testEnv(device.Nano, device.Nano)
+	s := equalStrategy(env, []int{0, 18})
+	opts := recoverOpts()
+	opts.TimeScale = 1 // full-scale sleeps blow through the tiny timeout
+	opts.Timeout = 20 * time.Millisecond
+	cl, err := Deploy(env, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.Run(1)
+	if err == nil {
+		t.Fatal("run must fail")
+	}
+}
+
+// TestChurnDifferentialSimVsRuntime is the acceptance-criterion test: with
+// a scripted single-device failure mid-stream, the simulator's ChurnStream
+// predicts the goodput ordering between recover-on and recover-off over a
+// common serving horizon, and the TCP runtime must reproduce it.
+func TestChurnDifferentialSimVsRuntime(t *testing.T) {
+	env := testEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := stageStrategy(env, env.Model, []int{0, 10, 14, 18})
+	const images = 12
+	const window = 4
+	const failFrac = 0.45
+
+	// --- Simulator prediction (model time). ---
+	base, err := env.PipelineStream(s, images, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []sim.ChurnEvent{{At: base.TotalSec * failFrac, Kind: sim.DeviceDrop, Device: 1}}
+	simOn, err := env.ChurnStream(s, images, window, 0, events, sim.ChurnOptions{
+		Recover: true, Replan: splitter.BalancedReplan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOff, err := env.ChurnStream(s, images, window, 0, events, sim.ChurnOptions{Recover: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goodput over the common horizon (the recovered run's span): the
+	// truncated stream delivers nothing after the failure.
+	horizon := simOn.TotalSec
+	if simOff.TotalSec > horizon {
+		horizon = simOff.TotalSec
+	}
+	gOnSim := float64(simOn.Completed) / horizon
+	gOffSim := float64(simOff.Completed) / horizon
+	if gOnSim <= gOffSim {
+		t.Fatalf("simulator must predict recover-on goodput above recover-off: %.3f vs %.3f (completed %d vs %d)",
+			gOnSim, gOffSim, simOn.Completed, simOff.Completed)
+	}
+	if simOff.Completed == 0 || simOff.Completed >= images {
+		t.Fatalf("sim failure not mid-stream: completed %d of %d", simOff.Completed, images)
+	}
+
+	// --- Runtime reproduction (scaled wall clock). ---
+	opts := recoverOpts()
+	pilot, err := Deploy(env, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pstats, err := pilot.RunPipelined(images, window)
+	pilot.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAt := time.Duration(pstats.TotalSec * failFrac * float64(time.Second))
+
+	run := func(recover bool) RunStats {
+		t.Helper()
+		o := opts
+		o.Recover = recover
+		cl, err := Deploy(env, s, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		kill := time.AfterFunc(killAt, func() { cl.KillProvider(1) })
+		defer kill.Stop()
+		st, err := cl.RunPipelined(images, window)
+		if recover && err != nil {
+			t.Fatalf("recover-on run failed: %v", err)
+		}
+		if !recover && err == nil {
+			t.Fatal("recover-off run must fail after the kill")
+		}
+		return st
+	}
+	rtOn := run(true)
+	rtOff := run(false)
+
+	rtHorizon := rtOn.TotalSec
+	if rtOff.TotalSec > rtHorizon {
+		rtHorizon = rtOff.TotalSec
+	}
+	gOnRt := float64(rtOn.Completed) / rtHorizon
+	gOffRt := float64(rtOff.Completed) / rtHorizon
+	t.Logf("sim:     on %d/%d imgs (goodput %.2f), off %d/%d (%.2f), recover in %.0fms (model)",
+		simOn.Completed, images, gOnSim, simOff.Completed, images, gOffSim, simOn.EventRecoverySec[0]*1e3)
+	t.Logf("runtime: on %d/%d imgs (goodput %.2f), off %d/%d (%.2f), replan %.1fms",
+		rtOn.Completed, images, gOnRt, rtOff.Completed, images, gOffRt, rtOn.ReplanMS)
+	if rtOn.Completed != images {
+		t.Fatalf("recover-on runtime completed %d of %d", rtOn.Completed, images)
+	}
+	if rtOff.Completed >= images {
+		t.Fatalf("recover-off runtime lost no images (kill too late?): %+v", rtOff)
+	}
+	if gOnRt <= gOffRt {
+		t.Errorf("runtime does not reproduce the predicted goodput ordering: on %.3f <= off %.3f", gOnRt, gOffRt)
+	}
+	if rtOn.Recoveries < 1 {
+		t.Errorf("recover-on runtime recorded no recovery: %+v", rtOn)
+	}
+}

@@ -111,11 +111,13 @@ type imageState struct {
 	scheduled []bool // indexed by step
 }
 
-// Provider is one service provider node: a TCP listener plus the three
-// worker goroutines of Section V-A (receive, compute, send).
+// Provider is one service provider node: a TCP listener plus the worker
+// goroutines of Section V-A (receive, compute, send) and — when health
+// tracking is on — a heartbeat thread.
 type Provider struct {
-	plan ProviderPlan
-	ln   net.Listener
+	plan  ProviderPlan
+	epoch int // deployment epoch, stamped on heartbeats
+	ln    net.Listener
 
 	peers     map[int]*conn // lazily dialled outbound links
 	peerAddrs map[int]string
@@ -129,22 +131,25 @@ type Provider struct {
 	images map[uint32]*imageState // in-flight image -> assembly state
 	minImg uint32                 // images below this are gc'ed; late chunks dropped
 
+	hb     time.Duration // heartbeat period; 0 = disabled
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
 	rec    statsRecorder
-	fail   func(error) // cluster-level error sink; nil drops errors
+	fail   func(suspect int, err error) // cluster-level error sink; nil drops errors
 }
 
 // newProvider starts a provider listening on localhost. Errors that occur
-// while the provider is live (not shutting down) are reported to fail.
-func newProvider(plan ProviderPlan, fail func(error)) (*Provider, error) {
+// while the provider is live (not shutting down) are reported to fail,
+// attributed to the peer the provider was talking to.
+func newProvider(plan ProviderPlan, epoch int, hb time.Duration, fail func(int, error)) (*Provider, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	p := &Provider{
 		plan:      plan,
+		epoch:     epoch,
 		ln:        ln,
 		peers:     make(map[int]*conn),
 		peerAddrs: make(map[int]string),
@@ -152,6 +157,7 @@ func newProvider(plan ProviderPlan, fail func(error)) (*Provider, error) {
 		work:      newWorkQueue(),
 		outbox:    make(chan Chunk, 256),
 		images:    make(map[uint32]*imageState),
+		hb:        hb,
 		done:      make(chan struct{}),
 		fail:      fail,
 	}
@@ -160,7 +166,32 @@ func newProvider(plan ProviderPlan, fail func(error)) (*Provider, error) {
 	go p.recvLoop()
 	go p.computeLoop()
 	go p.sendLoop()
+	if hb > 0 {
+		p.wg.Add(1)
+		go p.heartbeatLoop()
+	}
 	return p, nil
+}
+
+// heartbeatLoop periodically beats to the requester over the result link.
+// Send errors are deliberately not reported: a beat that cannot be
+// delivered surfaces at the monitor as a missed beat, which is the signal.
+func (p *Provider) heartbeatLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.hb)
+	defer t.Stop()
+	for {
+		_ = p.sendTo(RequesterID, Chunk{
+			Image:  uint32(p.plan.Index),
+			Volume: heartbeatVolume,
+			Lo:     int32(p.epoch),
+		})
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+		}
+	}
 }
 
 // Addr returns the provider's listen address.
@@ -174,9 +205,9 @@ func (p *Provider) setPeers(addrs map[int]string) {
 	}
 }
 
-func (p *Provider) report(err error) {
+func (p *Provider) report(suspect int, err error) {
 	if p.fail != nil {
-		p.fail(err)
+		p.fail(suspect, err)
 	}
 }
 
@@ -331,7 +362,7 @@ func (p *Provider) sendLoop() {
 				case <-p.done:
 					// Shutting down: connection teardown is expected.
 				default:
-					p.report(fmt.Errorf("runtime: provider %d send to %d: %w", p.plan.Index, dest, err))
+					p.report(dest, fmt.Errorf("runtime: provider %d send to %d: %w", p.plan.Index, dest, err))
 				}
 				continue
 			}

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// heartbeatVolume marks a liveness beat on a provider's result link. Beats
+// reuse the Chunk framing (Image = provider index, Lo = deployment epoch)
+// so liveness rides the same TCP path as real results: a provider whose
+// result link is wedged is, for serving purposes, dead.
+const heartbeatVolume int32 = -2
+
+// healthMonitor is the requester-side failure detector: it tracks the last
+// beat seen per provider and declares a provider dead once no beat has
+// arrived for HeartbeatMisses intervals (plus half an interval of grace).
+// Epochs fence recoveries: beats and verdicts from a torn-down deployment
+// are ignored.
+type healthMonitor struct {
+	c         *Cluster
+	interval  time.Duration
+	threshold time.Duration
+
+	mu    sync.Mutex
+	epoch int
+	last  []time.Time // zero = unwatched
+	dead  []bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func newHealthMonitor(c *Cluster, n int, interval time.Duration, misses int) *healthMonitor {
+	m := &healthMonitor{
+		c:         c,
+		interval:  interval,
+		threshold: time.Duration(misses)*interval + interval/2,
+		last:      make([]time.Time, n),
+		dead:      make([]bool, n),
+		stop:      make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// arm starts a new deployment epoch: watched providers get a fresh grace
+// window, everything else is ignored until the next arm.
+func (m *healthMonitor) arm(epoch int, watch []bool) {
+	now := time.Now()
+	m.mu.Lock()
+	m.epoch = epoch
+	for i := range m.last {
+		m.dead[i] = false
+		if i < len(watch) && watch[i] {
+			m.last[i] = now
+		} else {
+			m.last[i] = time.Time{}
+		}
+	}
+	m.mu.Unlock()
+}
+
+// beat records a liveness beat from provider idx stamped with the epoch it
+// was deployed in.
+func (m *healthMonitor) beat(idx, epoch int) {
+	m.mu.Lock()
+	if epoch == m.epoch && idx >= 0 && idx < len(m.last) && !m.last[idx].IsZero() {
+		m.last[idx] = time.Now()
+	}
+	m.mu.Unlock()
+}
+
+// deadSet returns the providers the monitor has declared dead in the
+// current epoch.
+func (m *healthMonitor) deadSet() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i, d := range m.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *healthMonitor) loop() {
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var report []int
+		var since []time.Duration
+		m.mu.Lock()
+		epoch := m.epoch
+		for i, lb := range m.last {
+			if lb.IsZero() || m.dead[i] {
+				continue
+			}
+			if d := now.Sub(lb); d > m.threshold {
+				m.dead[i] = true
+				report = append(report, i)
+				since = append(since, d)
+			}
+		}
+		m.mu.Unlock()
+		for k, i := range report {
+			m.c.failProvider(epoch, i, fmt.Errorf(
+				"runtime: provider %d lost: no heartbeat for %s (threshold %s)",
+				i, since[k].Round(time.Millisecond), m.threshold))
+		}
+	}
+}
+
+func (m *healthMonitor) close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}

@@ -47,7 +47,7 @@ func TestSelfRouteFanoutNoDeadlock(t *testing.T) {
 			RowBytes: 1,
 		})
 	}
-	p, err := newProvider(plan, nil)
+	p, err := newProvider(plan, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

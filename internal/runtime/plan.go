@@ -28,7 +28,8 @@ import (
 // RequesterID is the destination index denoting the service requester.
 const RequesterID = -1
 
-// Options tunes the emulation scales and run limits.
+// Options tunes the emulation scales, run limits and the fault-tolerance
+// behaviour.
 type Options struct {
 	// TimeScale multiplies emulated compute sleeps (1.0 = model latency;
 	// tests use small values).
@@ -39,6 +40,24 @@ type Options struct {
 	// before failing the run (default 30s). Cluster-level errors — dead
 	// peers, failed sends — abort runs immediately, without waiting it out.
 	Timeout time.Duration
+
+	// Recover turns on online churn recovery: when a provider is declared
+	// dead mid-run (missed heartbeats, failed sends), RunPipelined
+	// quarantines it, re-plans the strategy over the survivors, redeploys
+	// them and re-scatters every incomplete image instead of failing the
+	// run. Without it, failure stays sticky (Cluster.Err).
+	Recover bool
+	// HeartbeatInterval is the period at which every provider beats to the
+	// requester over its result link (default 50ms). Negative disables
+	// health tracking; failures are then detected only via failed sends.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive missed beats declare a
+	// provider dead (default 6).
+	HeartbeatMisses int
+	// Replan picks the re-planner recovery uses; nil means
+	// splitter.BalancedReplan (profile-guided balanced cuts over the
+	// survivors, no training on the serving path).
+	Replan sim.ReplanFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +69,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Timeout == 0 {
 		o.Timeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if o.HeartbeatInterval < 0 {
+		o.HeartbeatInterval = 0 // disabled
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 6
 	}
 	return o
 }

@@ -12,11 +12,20 @@ import (
 )
 
 // Cluster is a deployed strategy: live providers plus the requester-side
-// bookkeeping needed to stream images through them.
+// bookkeeping needed to stream images through them and — with
+// Options.Recover — to survive providers dying mid-stream.
 type Cluster struct {
+	env  *sim.Env
+	opts Options
+
+	// provMu guards the deployment view, which recovery swaps wholesale:
+	// providers is indexed by provider index (nil = quarantined), alive is
+	// the liveness mask re-planning runs against.
+	provMu    sync.Mutex
+	strat     *strategy.Strategy
 	plan      *Plan
-	opts      Options
 	providers []*Provider
+	alive     []bool
 
 	ln      net.Listener
 	resMu   sync.Mutex
@@ -33,9 +42,16 @@ type Cluster struct {
 	done   chan struct{}
 	closed sync.Once
 
-	failOnce sync.Once
-	failed   chan struct{}
-	failErr  error
+	health *healthMonitor
+
+	// Failure state is epoch-fenced and re-armable: recovery opens a new
+	// epoch with a fresh channel, and reports stamped with an older epoch
+	// (a torn-down provider's dying gasp) are ignored.
+	failMu  sync.Mutex
+	epoch   int
+	failed  chan struct{}
+	failErr error
+	failIdx int // suspected dead provider, -1 unknown
 }
 
 // Deploy builds the plan for a strategy and starts one provider per device
@@ -46,9 +62,13 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 	if err != nil {
 		return nil, err
 	}
+	n := env.NumProviders()
 	c := &Cluster{
-		plan:      plan,
+		env:       env,
 		opts:      opts,
+		strat:     strat,
+		plan:      plan,
+		alive:     make([]bool, n),
 		pending:   make(map[uint32]map[chunkKey]bool),
 		arrived:   make(map[uint32]chan struct{}),
 		completed: make(map[uint32]bool),
@@ -56,21 +76,14 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 		links:     make(map[int]*conn),
 		done:      make(chan struct{}),
 		failed:    make(chan struct{}),
+		failIdx:   -1,
 	}
-	// Providers report errors through the cluster unless cluster-wide
-	// teardown has begun: Close tears providers down one by one, so a
-	// not-yet-closed provider's send to an already-closed peer must not
-	// record a spurious failure after a clean run.
-	reportUnlessClosing := func(err error) {
-		select {
-		case <-c.done:
-		default:
-			c.fail(err)
-		}
+	for i := range c.alive {
+		c.alive[i] = true
 	}
 	addrs := make(map[int]string)
 	for _, pp := range plan.Providers {
-		p, err := newProvider(pp, reportUnlessClosing)
+		p, err := newProvider(pp, 0, opts.HeartbeatInterval, c.providerFailFn(0))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -89,25 +102,75 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 	for _, p := range c.providers {
 		p.setPeers(addrs)
 	}
+	// The monitor must exist before acceptResults starts routing beats to it.
+	if opts.HeartbeatInterval > 0 {
+		c.health = newHealthMonitor(c, n, opts.HeartbeatInterval, opts.HeartbeatMisses)
+		c.health.arm(0, c.alive)
+	}
 	go c.acceptResults()
 	return c, nil
+}
+
+// providerFailFn builds the error sink for providers deployed in the given
+// epoch: reports are dropped once cluster-wide teardown has begun (Close
+// tears providers down one by one, so a not-yet-closed provider's send to
+// an already-closed peer must not record a spurious failure), and
+// failProvider additionally fences off reports from torn-down epochs.
+func (c *Cluster) providerFailFn(epoch int) func(int, error) {
+	return func(suspect int, err error) {
+		select {
+		case <-c.done:
+		default:
+			c.failProvider(epoch, suspect, err)
+		}
+	}
 }
 
 // Addr returns the requester's result listener address.
 func (c *Cluster) Addr() string { return c.ln.Addr().String() }
 
-// fail records the first error observed anywhere in the cluster and wakes
-// every waiter, so a dead peer surfaces immediately instead of after the
-// per-image timeout.
-func (c *Cluster) fail(err error) {
-	c.failOnce.Do(func() {
+// failProvider records the first failure of the given epoch, remembering
+// the suspected provider (-1 = unknown), and wakes every waiter so a dead
+// peer surfaces immediately instead of after the per-image timeout.
+func (c *Cluster) failProvider(epoch, suspect int, err error) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if epoch != c.epoch {
+		return
+	}
+	select {
+	case <-c.failed:
+	default:
 		c.failErr = err
+		c.failIdx = suspect
 		close(c.failed)
-	})
+	}
 }
 
-// Err returns the first error the cluster recorded, or nil while healthy.
+// failNow records a failure in the current epoch (requester-side callers).
+func (c *Cluster) failNow(suspect int, err error) {
+	c.failMu.Lock()
+	epoch := c.epoch
+	c.failMu.Unlock()
+	c.failProvider(epoch, suspect, err)
+}
+
+// fail records a failure with no suspected provider.
+func (c *Cluster) fail(err error) { c.failNow(-1, err) }
+
+// failedCh returns the current epoch's failure channel.
+func (c *Cluster) failedCh() chan struct{} {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.failed
+}
+
+// Err returns the first error the cluster recorded in its current epoch,
+// or nil while healthy. With Options.Recover, a successful recovery opens
+// a new epoch and Err reads nil again; without it, failure is sticky.
 func (c *Cluster) Err() error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	select {
 	case <-c.failed:
 		return c.failErr
@@ -129,6 +192,12 @@ func (c *Cluster) acceptResults() {
 				if err := dec.Decode(&ch); err != nil {
 					cn.Close()
 					return
+				}
+				if ch.Volume == heartbeatVolume {
+					if c.health != nil {
+						c.health.beat(int(ch.Image), int(ch.Lo))
+					}
+					continue
 				}
 				c.resMu.Lock()
 				if m, ok := c.pending[ch.Image]; ok {
@@ -176,12 +245,19 @@ func (c *Cluster) complete(img uint32) {
 	}
 	low := c.gcLow
 	c.resMu.Unlock()
-	for _, p := range c.providers {
-		p.gc(low)
+	c.provMu.Lock()
+	provs := append([]*Provider(nil), c.providers...)
+	c.provMu.Unlock()
+	for _, p := range provs {
+		if p != nil {
+			p.gc(low)
+		}
 	}
 }
 
-// sendInput scatters one image's input rows to the volume-0 providers.
+// sendInput scatters one image's input rows to the volume-0 providers. A
+// failed scatter is attributed to the destination provider so recovery can
+// quarantine it.
 func (c *Cluster) sendInput(img uint32) error {
 	for k, need := range c.plan.Scatter {
 		dest := c.plan.ScatterDest[k]
@@ -193,6 +269,8 @@ func (c *Cluster) sendInput(img uint32) error {
 			Payload: make([]byte, (need.Hi-need.Lo)*c.plan.InputRowBytes),
 		}
 		if err := c.sendToProvider(dest, ch); err != nil {
+			err = fmt.Errorf("runtime: scatter image %d to provider %d: %w", img, dest, err)
+			c.failNow(dest, err)
 			return err
 		}
 	}
@@ -203,7 +281,17 @@ func (c *Cluster) sendToProvider(dest int, ch Chunk) error {
 	c.linkMu.Lock()
 	o, ok := c.links[dest]
 	if !ok {
-		cn, err := net.Dial("tcp", c.providers[dest].Addr())
+		c.provMu.Lock()
+		var p *Provider
+		if dest >= 0 && dest < len(c.providers) {
+			p = c.providers[dest]
+		}
+		c.provMu.Unlock()
+		if p == nil {
+			c.linkMu.Unlock()
+			return fmt.Errorf("runtime: provider %d is quarantined", dest)
+		}
+		cn, err := net.Dial("tcp", p.Addr())
 		if err != nil {
 			c.linkMu.Unlock()
 			return err
@@ -220,8 +308,15 @@ type RunStats struct {
 	Images     int
 	Window     int // admission window the run used (1 = sequential)
 	TotalSec   float64
-	IPS        float64
-	PerImageMS []float64 // admission-to-completion latency per image
+	IPS        float64   // completed images per second
+	PerImageMS []float64 // admission-to-completion latency per image (0 = never completed)
+
+	// Recovery accounting (all zero on churn-free runs).
+	Completed   int     // images whose results arrived (== Images on success)
+	Recoveries  int     // quarantine + re-plan + redeploy cycles
+	Requeued    int     // images re-scattered after a recovery
+	ReplanMS    float64 // total wall-clock spent re-planning and redeploying
+	Quarantined []int   // providers removed from the fleet, in index order
 }
 
 // Run streams `images` images through the deployed strategy one at a time
@@ -235,10 +330,15 @@ func (c *Cluster) Run(images int) (RunStats, error) {
 // overlap different images' steps and the run measures sustained
 // throughput. Window 1 is the paper's one-image-at-a-time protocol.
 //
-// Errors anywhere in the cluster — a dead peer, a failed send, an image
-// exceeding Options.Timeout — abort the run immediately. Failure is
-// sticky: once a cluster has failed, its distributed assembly state is
-// suspect, so further runs are refused (redeploy to retry).
+// Errors anywhere in the cluster — a dead peer, a failed send, missed
+// heartbeats, an image exceeding Options.Timeout — abort the admission
+// window immediately. Without Options.Recover the failure is sticky: the
+// cluster's distributed assembly state is suspect, so the run fails and
+// further runs are refused (redeploy to retry). With Options.Recover the
+// cluster quarantines the dead provider, re-plans the strategy over the
+// survivors (warm-started from the serving strategy), redeploys them, and
+// re-scatters every incomplete image; the returned stats count the
+// recoveries and the re-planning cost.
 func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 	if images < 1 {
 		return RunStats{}, fmt.Errorf("runtime: need at least one image")
@@ -250,62 +350,176 @@ func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 		return RunStats{}, fmt.Errorf("runtime: cluster already failed: %w", err)
 	}
 	stats := RunStats{Images: images, Window: window, PerImageMS: make([]float64, images)}
+	t0s := make([]time.Time, images)
+	completed := make([]bool, images)
+	remaining := make([]int, images)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	start := time.Now()
+	finalize := func() {
+		stats.TotalSec = time.Since(start).Seconds()
+		stats.Completed = 0
+		for _, done := range completed {
+			if done {
+				stats.Completed++
+			}
+		}
+		if stats.TotalSec > 0 {
+			stats.IPS = float64(stats.Completed) / stats.TotalSec
+		}
+		stats.Quarantined = c.Quarantined()
+	}
+	for len(remaining) > 0 {
+		err := c.runBatch(remaining, window, t0s, completed, &stats)
+		if err == nil {
+			break
+		}
+		if !c.opts.Recover {
+			finalize()
+			return stats, err
+		}
+		replanMS, rerr := c.recover()
+		stats.ReplanMS += replanMS
+		if rerr != nil {
+			finalize()
+			return stats, fmt.Errorf("runtime: %v; recovery failed: %w", err, rerr)
+		}
+		var left []int
+		for _, slot := range remaining {
+			if !completed[slot] {
+				left = append(left, slot)
+				if !t0s[slot].IsZero() {
+					// Only images that were actually in flight at the
+					// failure count as requeued; the unadmitted tail is
+					// just admitted later.
+					stats.Requeued++
+				}
+			}
+		}
+		remaining = left
+		stats.Recoveries++
+	}
+	finalize()
+	return stats, nil
+}
+
+// runBatch admits the given image slots through the current deployment
+// with the admission-window protocol, returning the epoch's first error
+// (nil when every slot completed). Slots that complete are marked in
+// `completed` with their latency measured from their first admission, so
+// re-admitted images show the recovery stall in PerImageMS.
+func (c *Cluster) runBatch(slots []int, window int, t0s []time.Time, completed []bool, stats *RunStats) error {
+	failed := c.failedCh()
 	timeout := c.opts.Timeout
 	sem := make(chan struct{}, window)
 	var wg sync.WaitGroup
-	start := time.Now()
 admit:
-	for i := 0; i < images; i++ {
+	for _, slot := range slots {
 		// Backpressure: wait for a free slot in the admission window, or
 		// stop admitting the moment anything failed.
 		select {
 		case sem <- struct{}{}:
-		case <-c.failed:
+		case <-failed:
 			break admit
 		case <-c.done:
 			c.fail(fmt.Errorf("runtime: cluster closed during run"))
 			break admit
 		}
 		img, done := c.register()
-		t0 := time.Now()
+		if t0s[slot].IsZero() {
+			t0s[slot] = time.Now()
+		}
 		if err := c.sendInput(img); err != nil {
-			c.fail(fmt.Errorf("runtime: scatter image %d: %w", img, err))
+			<-sem
 			break admit
 		}
 		wg.Add(1)
-		go func(slot int, img uint32, t0 time.Time, done <-chan struct{}) {
+		go func(slot int, img uint32, done <-chan struct{}) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			timer := time.NewTimer(timeout)
 			defer timer.Stop()
 			select {
 			case <-done:
-				stats.PerImageMS[slot] = float64(time.Since(t0).Microseconds()) / 1e3
+				stats.PerImageMS[slot] = float64(time.Since(t0s[slot]).Microseconds()) / 1e3
+				completed[slot] = true
 				c.complete(img)
 			case <-timer.C:
-				c.fail(fmt.Errorf("runtime: image %d timed out after %s", img, timeout))
-			case <-c.failed:
+				c.failNow(-1, fmt.Errorf("runtime: image %d timed out after %s", img, timeout))
+			case <-failed:
 			case <-c.done:
 				c.fail(fmt.Errorf("runtime: cluster closed during run"))
 			}
-		}(i, img, t0, done)
+		}(slot, img, done)
 	}
 	wg.Wait()
-	stats.TotalSec = time.Since(start).Seconds()
-	if err := c.Err(); err != nil {
-		return stats, err
-	}
-	stats.IPS = float64(images) / stats.TotalSec
-	return stats, nil
+	return c.Err()
 }
 
-// NumProviders returns the number of live providers.
-func (c *Cluster) NumProviders() int { return len(c.providers) }
+// NumProviders returns the number of providers the cluster was deployed
+// with, including quarantined ones.
+func (c *Cluster) NumProviders() int {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
+	return len(c.providers)
+}
+
+// LiveProviders returns the number of providers currently serving.
+func (c *Cluster) LiveProviders() int {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
+	return strategy.CountAlive(c.alive)
+}
+
+// Quarantined returns the indices of providers removed from the fleet.
+func (c *Cluster) Quarantined() []int {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
+	var out []int
+	for i, a := range c.alive {
+		if !a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Strategy returns the strategy the cluster is currently serving — after a
+// recovery this is the re-planned one, not the strategy it was deployed
+// with.
+func (c *Cluster) Strategy() *strategy.Strategy {
+	c.provMu.Lock()
+	defer c.provMu.Unlock()
+	return c.strat
+}
+
+// KillProvider simulates a crash of provider i: its listener and
+// connections drop and its heartbeats stop, exactly as a powered-off
+// device looks to the rest of the cluster. Chaos tests and the churn
+// experiments use it to inject failures mid-run.
+func (c *Cluster) KillProvider(i int) error {
+	c.provMu.Lock()
+	if i < 0 || i >= len(c.providers) {
+		c.provMu.Unlock()
+		return fmt.Errorf("runtime: no provider %d", i)
+	}
+	p := c.providers[i]
+	c.provMu.Unlock()
+	if p == nil {
+		return nil // already quarantined
+	}
+	p.close()
+	return nil
+}
 
 // Close tears the cluster down.
 func (c *Cluster) Close() {
 	c.closed.Do(func() {
 		close(c.done)
+		if c.health != nil {
+			c.health.close()
+		}
 		if c.ln != nil {
 			c.ln.Close()
 		}
@@ -314,8 +528,13 @@ func (c *Cluster) Close() {
 			o.c.Close()
 		}
 		c.linkMu.Unlock()
-		for _, p := range c.providers {
-			p.close()
+		c.provMu.Lock()
+		provs := append([]*Provider(nil), c.providers...)
+		c.provMu.Unlock()
+		for _, p := range provs {
+			if p != nil {
+				p.close()
+			}
 		}
 	})
 }

@@ -48,10 +48,19 @@ func (s *statsRecorder) snapshot(index int) ProviderStats {
 	return out
 }
 
-// Stats returns a snapshot of every provider's counters.
+// Stats returns a snapshot of every provider's counters. Quarantined
+// providers report zeroes; after a recovery the survivors' counters
+// restart with the new deployment.
 func (c *Cluster) Stats() []ProviderStats {
-	out := make([]ProviderStats, len(c.providers))
-	for i, p := range c.providers {
+	c.provMu.Lock()
+	provs := append([]*Provider(nil), c.providers...)
+	c.provMu.Unlock()
+	out := make([]ProviderStats, len(provs))
+	for i, p := range provs {
+		if p == nil {
+			out[i] = ProviderStats{Index: i}
+			continue
+		}
 		out[i] = p.rec.snapshot(p.plan.Index)
 	}
 	return out

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/strategy"
+)
+
+// TestChurnEmptyTimelineMatchesPipeline is the property test extending the
+// PR 2 window-1 ≡ Stream invariant: ChurnStream with an empty event
+// timeline must be bit-identical to PipelineStream — TotalSec, IPS,
+// SteadyIPS, quantiles and every per-image latency — across random
+// strategies, windows, and constant and time-varying networks.
+func TestChurnEmptyTimelineMatchesPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	envs := []*Env{
+		testEnv(150, device.Xavier, device.Nano, device.TX2, device.Nano),
+		equivEnv(t, false), // stable (time-varying) traces
+	}
+	for ei, env := range envs {
+		for iter := 0; iter < 20; iter++ {
+			s := randomStrategy(rng, env.Model, env.NumProviders())
+			window := 1 + rng.Intn(6)
+			images := 5 + rng.Intn(30)
+			start := []float64{0, 9.25}[rng.Intn(2)]
+			want, err := env.PipelineStream(s, images, window, start)
+			if err != nil {
+				t.Fatalf("env %d iter %d: pipeline: %v", ei, iter, err)
+			}
+			got, err := env.ChurnStream(s, images, window, start, nil, ChurnOptions{Recover: true})
+			if err != nil {
+				t.Fatalf("env %d iter %d: churn: %v", ei, iter, err)
+			}
+			if got.Completed != images || got.Failed != 0 || got.Recoveries != 0 || got.Requeued != 0 {
+				t.Fatalf("env %d iter %d: churn accounting nonzero without events: %+v", ei, iter, got)
+			}
+			if got.TotalSec != want.TotalSec {
+				t.Errorf("env %d iter %d (w=%d): TotalSec %.17g != %.17g", ei, iter, window, got.TotalSec, want.TotalSec)
+			}
+			if got.IPS != want.IPS {
+				t.Errorf("env %d iter %d (w=%d): IPS %.17g != %.17g", ei, iter, window, got.IPS, want.IPS)
+			}
+			if got.SteadyIPS != want.SteadyIPS {
+				t.Errorf("env %d iter %d (w=%d): SteadyIPS %.17g != %.17g", ei, iter, window, got.SteadyIPS, want.SteadyIPS)
+			}
+			if got.MeanLatMS != want.MeanLatMS || got.P50LatMS != want.P50LatMS ||
+				got.P95LatMS != want.P95LatMS || got.MaxLatMS != want.MaxLatMS {
+				t.Errorf("env %d iter %d (w=%d): latency stats differ: %+v vs %+v",
+					ei, iter, window, got.PipelineResult, want)
+			}
+			if len(got.PerImageSec) != len(want.PerImageSec) {
+				t.Fatalf("env %d iter %d: %d per-image latencies, want %d",
+					ei, iter, len(got.PerImageSec), len(want.PerImageSec))
+			}
+			for m := range want.PerImageSec {
+				if got.PerImageSec[m] != want.PerImageSec[m] {
+					t.Fatalf("env %d iter %d image %d: latency %.17g != %.17g",
+						ei, iter, m, got.PerImageSec[m], want.PerImageSec[m])
+				}
+			}
+		}
+	}
+}
+
+// TestChurnDropWithoutRecoveryTruncates pins the sticky-failure model: a
+// drop mid-stream commits only the images that completed before it and
+// fails the rest, so goodput is strictly below the recovered run's.
+func TestChurnDropWithoutRecoveryTruncates(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := stageStrategy(env.Model, []int{0, 10, 14, 18}, 4)
+	const images = 40
+	base, err := env.PipelineStream(s, images, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failAt := base.TotalSec * 0.5
+	events := []ChurnEvent{{At: failAt, Kind: DeviceDrop, Device: 1}}
+
+	off, err := env.ChurnStream(s, images, 4, 0, events, ChurnOptions{Recover: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Completed == 0 || off.Completed >= images {
+		t.Fatalf("recover-off completed %d of %d images; the drop must truncate mid-stream", off.Completed, images)
+	}
+	if off.Failed != images-off.Completed {
+		t.Errorf("failed = %d, want %d", off.Failed, images-off.Completed)
+	}
+	if off.FailedAtSec != failAt {
+		t.Errorf("FailedAtSec = %g, want %g", off.FailedAtSec, failAt)
+	}
+
+	on, err := env.ChurnStream(s, images, 4, 0, events, ChurnOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Completed != images || on.Failed != 0 {
+		t.Fatalf("recover-on must complete everything: %+v", on)
+	}
+	if on.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", on.Recoveries)
+	}
+	if on.Requeued == 0 {
+		t.Error("a mid-stream drop must requeue in-flight images")
+	}
+	if on.IPS <= off.IPS {
+		t.Errorf("recovered goodput %.3f not above truncated goodput %.3f", on.IPS, off.IPS)
+	}
+	// Note: on.TotalSec may legitimately beat the churn-free run — the
+	// stage layout is throughput-oriented, and the post-drop re-plan can
+	// land on a better-balanced strategy for the survivors.
+	if len(on.EventRecoverySec) != 1 || on.EventRecoverySec[0] <= 0 {
+		t.Errorf("event recovery time missing: %v", on.EventRecoverySec)
+	}
+}
+
+// TestChurnReplanChargeDelaysRecovery checks the ReplanSec knob: a larger
+// simulated re-planning delay pushes the first post-event completion out.
+func TestChurnReplanChargeDelaysRecovery(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := stageStrategy(env.Model, []int{0, 10, 14, 18}, 4)
+	base, err := env.PipelineStream(s, 30, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []ChurnEvent{{At: base.TotalSec * 0.4, Kind: DeviceDrop, Device: 2}}
+	cheap, err := env.ChurnStream(s, 30, 4, 0, events, ChurnOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := env.ChurnStream(s, 30, 4, 0, events, ChurnOptions{Recover: true, ReplanSec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.EventRecoverySec[0] <= cheap.EventRecoverySec[0] {
+		t.Errorf("replan charge did not delay recovery: %.3fs vs %.3fs",
+			dear.EventRecoverySec[0], cheap.EventRecoverySec[0])
+	}
+	if dear.TotalSec <= cheap.TotalSec {
+		t.Errorf("replan charge did not slow the stream: %.3fs vs %.3fs", dear.TotalSec, cheap.TotalSec)
+	}
+}
+
+// TestChurnSlowdownDegradesThroughput: slowing the bottleneck device must
+// reduce goodput even with recovery re-planning around it.
+func TestChurnSlowdownDegradesThroughput(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.Nano)
+	s := equalSplitStrategy(env.Model, strategy.PoolBoundaries(env.Model), 2)
+	base, err := env.PipelineStream(s, 30, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []ChurnEvent{{At: base.TotalSec * 0.25, Kind: DeviceSlow, Device: 0, Factor: 4}}
+	slowed, err := env.ChurnStream(s, 30, 2, 0, events, ChurnOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowed.Completed != 30 {
+		t.Fatalf("slowdown must not lose images: %+v", slowed)
+	}
+	if slowed.IPS >= base.IPS {
+		t.Errorf("4x slowdown of device 0 did not reduce IPS: %.3f vs %.3f", slowed.IPS, base.IPS)
+	}
+}
+
+// latencyReplan is a profile-aware test replanner: each volume is split
+// proportionally to the alive devices' measured speed (the shape of
+// splitter.BalancedReplan, without the import cycle an in-package sim test
+// would create). Unlike the width-proportional default it gives a joining
+// device — whose old share is zero — real work.
+func latencyReplan(e *Env, old *strategy.Strategy, alive []bool) (*strategy.Strategy, error) {
+	out := &strategy.Strategy{Boundaries: append([]int(nil), old.Boundaries...)}
+	for v := 0; v < old.NumVolumes(); v++ {
+		layers := strategy.Volume(e.Model, old.Boundaries, v)
+		h := strategy.VolumeHeight(e.Model, old.Boundaries, v)
+		weights := make([]float64, len(alive))
+		for i := range alive {
+			if !alive[i] {
+				continue
+			}
+			if lat := e.VolumeLatency(i, layers, cnn.RowRange{Lo: 0, Hi: h}); lat > 0 {
+				weights[i] = 1 / lat
+			}
+		}
+		out.Splits = append(out.Splits, strategy.ProportionalCuts(h, weights))
+	}
+	return out, nil
+}
+
+// TestChurnDropThenRejoin: a device that drops and later rejoins must end
+// the stream with work flowing over it again, and beat the drop-only run.
+func TestChurnDropThenRejoin(t *testing.T) {
+	env := testEnv(200, device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := equalSplitStrategy(env.Model, []int{0, 10, 14, 18}, 4)
+	base, err := env.PipelineStream(s, 40, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := ChurnEvent{At: base.TotalSec * 0.2, Kind: DeviceDrop, Device: 0}
+	join := ChurnEvent{At: base.TotalSec * 0.5, Kind: DeviceJoin, Device: 0}
+	opts := ChurnOptions{Recover: true, Replan: latencyReplan}
+
+	dropOnly, err := env.ChurnStream(s, 40, 4, 0, []ChurnEvent{drop}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoin, err := env.ChurnStream(s, 40, 4, 0, []ChurnEvent{drop, join}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejoin.Recoveries != 2 {
+		t.Errorf("recoveries = %d, want 2 (drop + join)", rejoin.Recoveries)
+	}
+	if rejoin.Completed != 40 || dropOnly.Completed != 40 {
+		t.Fatalf("recovered streams must complete: rejoin %+v dropOnly %+v", rejoin, dropOnly)
+	}
+	// Getting the fastest device back mid-stream must not hurt and should
+	// help: the rejoin run finishes no later than the drop-only run.
+	if rejoin.TotalSec > dropOnly.TotalSec*1.001 {
+		t.Errorf("rejoin run (%.3fs) slower than staying degraded (%.3fs)", rejoin.TotalSec, dropOnly.TotalSec)
+	}
+}
+
+func TestChurnRejectsBadEvents(t *testing.T) {
+	env := testEnv(100, device.Nano, device.Nano)
+	s := equalSplitStrategy(env.Model, strategy.SingleVolume(env.Model), 2)
+	if _, err := env.ChurnStream(s, 5, 1, 0, []ChurnEvent{{At: 1, Kind: DeviceDrop, Device: 7}}, ChurnOptions{}); err == nil {
+		t.Error("out-of-range device must error")
+	}
+	if _, err := env.ChurnStream(s, 5, 1, 0, []ChurnEvent{{At: 1, Kind: DeviceSlow, Device: 0}}, ChurnOptions{}); err == nil {
+		t.Error("slow event without factor must error")
+	}
+	if _, err := env.ChurnStream(s, 0, 1, 0, nil, ChurnOptions{}); err == nil {
+		t.Error("zero images must error")
+	}
+	if _, err := env.ChurnStream(s, 5, 0, 0, nil, ChurnOptions{}); err == nil {
+		t.Error("zero window must error")
+	}
+	// Dropping the whole fleet is unrecoverable.
+	events := []ChurnEvent{
+		{At: 0.1, Kind: DeviceDrop, Device: 0},
+		{At: 0.2, Kind: DeviceDrop, Device: 1},
+	}
+	if _, err := env.ChurnStream(s, 50, 2, 0, events, ChurnOptions{Recover: true}); err == nil {
+		t.Error("dropping every provider must error")
+	}
+}
+
+func TestEnvSubset(t *testing.T) {
+	env := testEnv(150, device.Xavier, device.Nano, device.TX2, device.Nano)
+	sub, idx, err := env.Subset([]bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumProviders() != 2 || len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("subset wrong: n=%d idx=%v", sub.NumProviders(), idx)
+	}
+	if len(sub.Net.Providers) != 2 {
+		t.Fatalf("subset network has %d links", len(sub.Net.Providers))
+	}
+	if _, _, err := env.Subset([]bool{false, false, false, false}); err == nil {
+		t.Error("empty subset must error")
+	}
+	if _, _, err := env.Subset([]bool{true}); err == nil {
+		t.Error("short mask must error")
+	}
+}

@@ -41,6 +41,13 @@ type Config struct {
 	// agent similarly consumes device profiles). Disable to run pure
 	// Algorithm 2.
 	WarmStart bool
+	// InitSplits seeds one extra warm-start episode with a known-good split
+	// decision per volume — churn recovery passes the pre-failure strategy
+	// projected onto the survivors, so the search explores outward from the
+	// deployment that was just working. Requires WarmStart; entries whose
+	// cut count does not match the provider count fall back to balanced
+	// cuts.
+	InitSplits [][]int
 	// UpdateEvery performs a gradient update every k environment steps
 	// (1 = the paper's per-step update).
 	UpdateEvery int
@@ -236,6 +243,14 @@ func balancedCutsSubset(env *sim.Env, layers []cnn.Layer, h int, allowed []bool)
 		var worst float64
 		for i := 0; i < n; i++ {
 			part := strategy.CutRange(cuts, h, i)
+			if part.Empty() {
+				continue
+			}
+			if !allowed[i] {
+				// A cut move may not hand rows to an excluded provider —
+				// for churn re-planning, "excluded" means dead.
+				return math.Inf(1)
+			}
 			lat := env.VolumeLatency(i, layers, part)
 			if lat > worst {
 				worst = lat
@@ -280,6 +295,54 @@ var climbDeltas = [...]int{-4, -1, 1, 4}
 // numWarmCandidates is the number of distinct warm-start strategy families
 // tried before DDPG exploration takes over.
 const numWarmCandidates = 4
+
+// initWarmKind is the extra warm candidate fed from Config.InitSplits.
+const initWarmKind = numWarmCandidates
+
+// warmSchedule lists the warm-start kind of each leading episode: the
+// InitSplits seed first (when provided), then the four heuristic families,
+// capped at half the episode budget. floorOne keeps at least one warm
+// episode for any positive budget (Finetune's behaviour).
+func warmSchedule(cfg Config, episodes int, floorOne bool) []int {
+	if !cfg.WarmStart {
+		return nil
+	}
+	kinds := []int{0, 1, 2, 3}
+	if cfg.InitSplits != nil {
+		kinds = append([]int{initWarmKind}, kinds...)
+	}
+	max := episodes / 2
+	if floorOne && max < 1 && episodes > 0 {
+		max = 1
+	}
+	if max < 0 {
+		max = 0
+	}
+	if len(kinds) > max {
+		kinds = kinds[:max]
+	}
+	return kinds
+}
+
+// initCuts returns the InitSplits seed for volume v, clamped to a valid
+// sorted cut list on height h; shape mismatches fall back to balanced cuts.
+func (t *Trainer) initCuts(vol []cnn.Layer, v, h int) []int {
+	n := t.env.NumProviders()
+	if v >= len(t.cfg.InitSplits) || len(t.cfg.InitSplits[v]) != n-1 {
+		return balancedCuts(t.env, vol, h)
+	}
+	cuts := append([]int(nil), t.cfg.InitSplits[v]...)
+	sort.Ints(cuts)
+	for i := range cuts {
+		if cuts[i] < 0 {
+			cuts[i] = 0
+		}
+		if cuts[i] > h {
+			cuts[i] = h
+		}
+	}
+	return cuts
+}
 
 // warmCuts returns the cut points for warm-start candidate `kind` on one
 // volume. The candidates cover the strategy families the optimum tends to
@@ -356,7 +419,12 @@ func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *s
 		var raw []float64
 		switch {
 		case warmKind >= 0:
-			cuts := warmCuts(t.env, vol, h, warmKind)
+			var cuts []int
+			if warmKind == initWarmKind {
+				cuts = t.initCuts(vol, v, h)
+			} else {
+				cuts = warmCuts(t.env, vol, h, warmKind)
+			}
 			raw = actionFromCuts(cuts, h)
 			for i := range raw {
 				raw[i] += 0.01 * t.rng.NormFloat64()
@@ -402,13 +470,7 @@ func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *s
 // Run trains for the configured number of episodes, tracking the best
 // strategy observed.
 func (t *Trainer) Run() *Result {
-	warmEpisodes := 0
-	if t.cfg.WarmStart {
-		warmEpisodes = numWarmCandidates
-		if warmEpisodes > t.cfg.Episodes/2 {
-			warmEpisodes = t.cfg.Episodes / 2
-		}
-	}
+	sched := warmSchedule(t.cfg, t.cfg.Episodes, false)
 	for ep := 0; ep < t.cfg.Episodes; ep++ {
 		e := float64(ep) * t.cfg.DeltaEps
 		eps := 1 - e*e
@@ -416,8 +478,8 @@ func (t *Trainer) Run() *Result {
 			eps = 0.05
 		}
 		warmKind := -1
-		if ep < warmEpisodes {
-			warmKind = ep % numWarmCandidates
+		if ep < len(sched) {
+			warmKind = sched[ep]
 		}
 		lat, strat := t.runEpisode(eps, warmKind, true)
 		t.hist = append(t.hist, lat)
@@ -444,20 +506,11 @@ func (t *Trainer) Finetune(env *sim.Env, episodes int) *Result {
 	t.best = nil
 	t.bestT = math.Inf(1)
 	t.hist = nil
-	warm := 0
-	if t.cfg.WarmStart {
-		warm = numWarmCandidates
-		if warm > episodes/2 {
-			warm = episodes / 2
-		}
-		if warm < 1 && episodes > 0 {
-			warm = 1
-		}
-	}
+	sched := warmSchedule(t.cfg, episodes, true)
 	for ep := 0; ep < episodes; ep++ {
 		warmKind := -1
-		if ep < warm {
-			warmKind = ep % numWarmCandidates
+		if ep < len(sched) {
+			warmKind = sched[ep]
 		}
 		lat, strat := t.runEpisode(0.3, warmKind, true)
 		t.hist = append(t.hist, lat)

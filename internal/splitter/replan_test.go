@@ -1,0 +1,134 @@
+package splitter
+
+import (
+	"testing"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/network"
+	"distredge/internal/sim"
+	"distredge/internal/strategy"
+)
+
+func replanEnv(types ...device.Type) *sim.Env {
+	devs := device.Fleet(types...)
+	net := &network.Network{Requester: network.DefaultLink(network.Constant(200))}
+	for range devs {
+		net.Providers = append(net.Providers, network.DefaultLink(network.Constant(200)))
+	}
+	return &sim.Env{Model: cnn.VGG16(), Devices: device.AsModels(devs), Net: net}
+}
+
+func equalOld(env *sim.Env, boundaries []int) *strategy.Strategy {
+	s := &strategy.Strategy{Boundaries: boundaries}
+	for v := 0; v+1 < len(boundaries); v++ {
+		h := strategy.VolumeHeight(env.Model, boundaries, v)
+		s.Splits = append(s.Splits, strategy.EqualCuts(h, env.NumProviders()))
+	}
+	return s
+}
+
+func TestBalancedReplanExcludesDeadAndUsesJoined(t *testing.T) {
+	env := replanEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
+	old := equalOld(env, []int{0, 10, 14, 18})
+	alive := []bool{true, false, true, true}
+	s, err := BalancedReplan(env, old, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(env.Model, 4); err != nil {
+		t.Fatalf("re-planned strategy invalid: %v", err)
+	}
+	for v := 0; v < s.NumVolumes(); v++ {
+		if r := s.PartRange(env.Model, v, 1); !r.Empty() {
+			t.Errorf("volume %d: dead provider 1 still owns %v", v, r)
+		}
+	}
+	// The re-planned strategy must actually execute on the survivors.
+	if _, _, err := env.Latency(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A rejoined device gets real work even though its projected share was
+	// zero — the profile-guided weights ignore history.
+	back, err := BalancedReplan(env, s, []bool{true, true, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for v := 0; v < back.NumVolumes(); v++ {
+		rows += back.PartRange(env.Model, v, 1).Len()
+	}
+	if rows == 0 {
+		t.Error("rejoined provider 1 got no rows from BalancedReplan")
+	}
+}
+
+func TestBalancedReplanRejectsEmptyFleet(t *testing.T) {
+	env := replanEnv(device.Nano, device.Nano)
+	old := equalOld(env, []int{0, 18})
+	if _, err := BalancedReplan(env, old, []bool{false, false}); err == nil {
+		t.Error("empty fleet must error")
+	}
+	if _, err := BalancedReplan(env, old, []bool{true}); err == nil {
+		t.Error("short mask must error")
+	}
+}
+
+// TestSearchReplanWarmStartsFromOldStrategy: the search-based replanner
+// returns a valid full-fleet strategy with empty parts for the dead
+// provider, and — because the old strategy seeds the warm schedule — it is
+// never worse than the projected old strategy itself.
+func TestSearchReplanWarmStartsFromOldStrategy(t *testing.T) {
+	env := replanEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
+	old := equalOld(env, []int{0, 10, 14, 18})
+	alive := []bool{true, true, false, true}
+	replan := SearchReplan(Config{Episodes: 12, Hidden: []int{8, 8}, Batch: 8, Seed: 3, WarmStart: true})
+	s, err := replan(env, old, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(env.Model, 4); err != nil {
+		t.Fatalf("search re-plan invalid: %v", err)
+	}
+	for v := 0; v < s.NumVolumes(); v++ {
+		if r := s.PartRange(env.Model, v, 2); !r.Empty() {
+			t.Errorf("volume %d: dead provider 2 owns %v", v, r)
+		}
+	}
+	newLat, _, err := env.Latency(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := strategy.Project(env.Model, old, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := strategy.Lift(env.Model, proj, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLat, _, err := env.Latency(lifted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLat > oldLat*(1+1e-9) {
+		t.Errorf("search re-plan latency %.6g worse than its own warm start %.6g", newLat, oldLat)
+	}
+}
+
+func TestSearchReplanSingleSurvivorFallsBack(t *testing.T) {
+	env := replanEnv(device.Xavier, device.Nano)
+	old := equalOld(env, []int{0, 18})
+	replan := SearchReplan(Config{Episodes: 8, Hidden: []int{8}, Batch: 8, Seed: 1, WarmStart: true})
+	s, err := replan(env, old, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(env.Model, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := strategy.VolumeHeight(env.Model, old.Boundaries, 0)
+	if r := s.PartRange(env.Model, 0, 1); r.Len() != h {
+		t.Errorf("sole survivor owns %v, want all %d rows", r, h)
+	}
+}

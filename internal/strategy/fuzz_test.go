@@ -1,0 +1,90 @@
+package strategy
+
+import (
+	"testing"
+
+	"distredge/internal/cnn"
+)
+
+// decodeStrategy deterministically expands raw fuzz bytes into a candidate
+// strategy plus provider count. No validity is enforced — the whole point is
+// to feed CompileGeometry adversarial cut points and volume boundaries.
+func decodeStrategy(m *cnn.Model, data []byte) (*Strategy, int) {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		v := int(int8(data[0])) // signed on purpose: negatives must be handled
+		data = data[1:]
+		return v
+	}
+	providers := next()%6 + 1
+	if providers < 1 {
+		providers = -providers + 1
+	}
+	nb := next()%6 + 2
+	if nb < 2 {
+		nb = -nb + 2
+	}
+	s := &Strategy{Boundaries: make([]int, nb)}
+	for i := range s.Boundaries {
+		s.Boundaries[i] = next()
+	}
+	nv := next() % 8
+	if nv < 0 {
+		nv = -nv
+	}
+	s.Splits = make([][]int, nv)
+	for v := range s.Splits {
+		cuts := make([]int, providers-1)
+		for j := range cuts {
+			cuts[j] = next() * 3 // overshoot heights on purpose
+		}
+		s.Splits[v] = cuts
+	}
+	return s, providers
+}
+
+// FuzzCompileGeometry asserts the compile-time contract churn recovery
+// leans on: for ANY input — adversarial cut points, unsorted or
+// out-of-range volume boundaries, mismatched split counts — either
+// Validate rejects the strategy or CompileGeometry succeeds. A panic
+// (index out of range on a hostile boundary) is the failure mode.
+func FuzzCompileGeometry(f *testing.F) {
+	f.Add([]byte{4, 3, 0, 5, 18, 2, 10, 20, 30})
+	f.Add([]byte{2, 2, 0, 18, 1, 0})
+	f.Add([]byte{1, 2, 0, 18, 1})                      // single provider: zero-length cut lists
+	f.Add([]byte{4, 4, 0, 0, 9, 18, 3, 1, 2, 3, 4, 5}) // empty volume
+	f.Add([]byte{3, 3, 0, 200, 18, 2, 120, 110})       // out-of-range boundary, unsorted cuts
+	f.Add([]byte{5, 2, 0, 18, 1, 127, 128, 255, 0})
+
+	m := cnn.VGG16()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, providers := decodeStrategy(m, data)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic with boundaries=%v splits=%v providers=%d: %v",
+					s.Boundaries, s.Splits, providers, r)
+			}
+		}()
+		geo, err := CompileGeometry(m, s, providers)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Compiled geometry must be internally consistent: parts partition
+		// [0, Height) in provider order.
+		for v, g := range geo {
+			pos := 0
+			for i, part := range g.Parts {
+				if part.Empty() {
+					continue
+				}
+				if part.Lo < pos || part.Hi > g.Height {
+					t.Fatalf("volume %d provider %d: part %v escapes [0,%d) (pos %d)",
+						v, i, part, g.Height, pos)
+				}
+				pos = part.Hi
+			}
+		}
+	})
+}

@@ -28,3 +28,51 @@ func ParseProviders(spec string) ([]Provider, error) {
 	}
 	return out, nil
 }
+
+// ParseChurn parses the scripted fleet-event syntax shared by the
+// command-line tools: comma-separated events of the form
+//
+//	drop:DEV@T    — provider DEV leaves the fleet at trace time T (seconds)
+//	join:DEV@T    — provider DEV rejoins at T
+//	slow:DEVxF@T  — provider DEV becomes F times slower at T
+//
+// e.g. "drop:1@2.5,slow:2x3@4,join:1@8".
+func ParseChurn(spec string) ([]ChurnEvent, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []ChurnEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("distredge: bad churn event %q (want kind:dev@t)", part)
+		}
+		devSpec, atSpec, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("distredge: bad churn event %q (missing @time)", part)
+		}
+		at, err := strconv.ParseFloat(atSpec, 64)
+		if err != nil {
+			return nil, fmt.Errorf("distredge: bad time in %q: %v", part, err)
+		}
+		ev := ChurnEvent{Kind: strings.TrimSpace(kind), AtSec: at, Factor: 1}
+		if ev.Kind == "slow" {
+			dv, fv, ok := strings.Cut(devSpec, "x")
+			if !ok {
+				return nil, fmt.Errorf("distredge: slow event %q needs devxfactor", part)
+			}
+			ev.Factor, err = strconv.ParseFloat(fv, 64)
+			if err != nil {
+				return nil, fmt.Errorf("distredge: bad factor in %q: %v", part, err)
+			}
+			devSpec = dv
+		}
+		ev.Device, err = strconv.Atoi(strings.TrimSpace(devSpec))
+		if err != nil {
+			return nil, fmt.Errorf("distredge: bad device in %q: %v", part, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
