@@ -1,10 +1,15 @@
 // Command distbench reproduces the paper's evaluation: one sub-report per
-// table/figure (Fig. 4-15), printed as aligned text tables.
+// table/figure (Fig. 4-15), printed as aligned text tables. The extra
+// "fidelity" report cross-checks the simulator against the real runtime:
+// it deploys the same plan over the -transport wire stack (shaped with the
+// WiFi traces under -trace) and prints predicted vs measured IPS per
+// admission window.
 //
 // Usage:
 //
 //	distbench -fig all -budget quick
 //	distbench -fig 7 -budget full
+//	distbench -fig fidelity -trace -windows 1,4
 //
 // Budgets: tiny (seconds), quick (default, ~minutes), full (tens of
 // minutes), paper (the paper's Max_ep=4000 configuration; hours).
@@ -18,20 +23,24 @@ import (
 	"strings"
 	"time"
 
+	"distredge"
 	"distredge/internal/device"
 	"distredge/internal/experiments"
 	"distredge/internal/network"
 	"distredge/internal/plot"
+	"distredge/internal/runtime"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn' or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn', 'fidelity' or 'all'")
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
 	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
 	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 and churn sweeps")
 	fracs := flag.String("failfracs", "0.25,0.5,0.75", "failure times for the churn sweep, as fractions of the churn-free run")
+	transportSpec := flag.String("transport", "inproc", "for -fig fidelity: runtime wire stack tcp|tcp+gob|inproc")
+	trace := flag.Bool("trace", false, "for -fig fidelity: shape the transport with the WiFi traces")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -69,7 +78,7 @@ func main() {
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps, winSizes, failFracs); err != nil {
+		if err := run(f, b, *reps, winSizes, failFracs, *transportSpec, *trace); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -121,7 +130,10 @@ func parseWindows(spec string) ([]int, error) {
 	return out, nil
 }
 
-func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64) error {
+func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, transportSpec string, trace bool) error {
+	if fig == "fidelity" {
+		return fidelity(b, windows, transportSpec, trace)
+	}
 	if fig == "churn" {
 		header("Churn — goodput & time-to-recover under a mid-stream device failure")
 		rows, err := experiments.FigChurnRecovery(b, windows, failFracs)
@@ -292,6 +304,75 @@ func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []
 	default:
 		return fmt.Errorf("unknown figure %d", n)
 	}
+	return nil
+}
+
+// fidelity cross-checks the simulator against the real runtime: the same
+// CoEdge plan (profile-guided, no training — planning noise would blur the
+// comparison) is evaluated with sim.PipelineStream and deployed over the
+// chosen transport, per admission window. With -trace the transport
+// charges the WiFi traces to every payload byte, so measured/predicted
+// should approach 1; without it the wire is free and the runtime runs
+// ahead of the prediction — the fidelity gap the shaped transport closes.
+func fidelity(b experiments.Budget, windows []int, transportSpec string, trace bool) error {
+	mode := "free wire (localhost)"
+	if trace {
+		mode = "trace-shaped wire"
+	}
+	header(fmt.Sprintf("Fidelity — sim prediction vs runtime measurement, %s", mode))
+	// Low-bandwidth links make the prediction transfer-dominated, which is
+	// the term the transport choice actually controls; emulated-compute
+	// overhead (a couple of ms per sleep at small time scales) then stays
+	// in the noise.
+	providers, err := distredge.ParseProviders("xavier:10,nano:10,tx2:10,nano:10")
+	if err != nil {
+		return err
+	}
+	sys, err := distredge.New("vgg16", providers, distredge.WithSeed(b.Seed))
+	if err != nil {
+		return err
+	}
+	plan, err := sys.Baseline("CoEdge")
+	if err != nil {
+		return err
+	}
+	const timeScale, bytesScale = 0.1, 0.001
+	const simImages, rtImages = 200, 16
+	fmt.Printf("%-9s %9s %9s | %12s %12s | %9s\n",
+		"window", "sim IPS", "lat(ms)", "runtime IPS", "lat(ms)", "meas/pred")
+	for _, w := range windows {
+		prep, err := sys.EvaluatePipelined(plan, simImages, w)
+		if err != nil {
+			return err
+		}
+		tr, err := distredge.ParseTransport(transportSpec)
+		if err != nil {
+			return err
+		}
+		opts := runtime.Options{
+			TimeScale:         timeScale,
+			BytesScale:        bytesScale,
+			HeartbeatInterval: -1, // charged links must not starve liveness
+			Transport:         tr,
+		}
+		if trace {
+			opts.Transport = sys.ShapedTransport(tr, opts)
+		}
+		cluster, err := sys.Deploy(plan, opts)
+		if err != nil {
+			return err
+		}
+		stats, runErr := cluster.RunPipelined(rtImages, w)
+		cluster.Close()
+		if runErr != nil {
+			return runErr
+		}
+		modelIPS := stats.IPS * timeScale
+		modelLatMS := stats.MeanLatMS() / timeScale
+		fmt.Printf("%-9d %9.2f %9.1f | %12.2f %12.1f | %9.2f\n",
+			w, prep.IPS, prep.MeanLatMS, modelIPS, modelLatMS, modelIPS/prep.IPS)
+	}
+	fmt.Printf("(runtime numbers mapped to model scale: wall IPS x %g, wall latency / %g)\n", timeScale, timeScale)
 	return nil
 }
 

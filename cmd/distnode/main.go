@@ -1,7 +1,11 @@
-// Command distnode deploys a planned strategy over real TCP sockets on
-// localhost — one listener per provider with receive/compute/send
-// goroutines, exactly the runtime shape of the paper's testbed
-// (Section V-A) — and streams images through it.
+// Command distnode deploys a planned strategy over the runtime's wire
+// stack — one listener per provider with receive/compute/send goroutines,
+// exactly the runtime shape of the paper's testbed (Section V-A) — and
+// streams images through it. The -transport flag picks the medium
+// (localhost TCP with the binary chunk codec by default, tcp+gob for the
+// legacy wire format, inproc for socket-free channels) and -trace shapes
+// it with the planned WiFi traces, so the deployment experiences the
+// simulator's network conditions instead of localhost's free wire.
 //
 // Compute is emulated (sleep = device-model latency x -timescale) while the
 // routing, framing, halo exchange and FC gathering are performed for real.
@@ -10,6 +14,7 @@
 //
 //	distnode -model vgg16 -providers xavier:200,nano:200 -images 20 -timescale 0.1
 //	distnode -providers xavier:200,nano:200,tx2:200 -window 4 -recover -kill 1@0.5
+//	distnode -providers xavier:50,nano:50 -transport inproc -trace
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	recover := flag.Bool("recover", false, "survive provider deaths: quarantine, re-plan over survivors, re-scatter in-flight images")
 	killSpec := flag.String("kill", "", "chaos injection: comma-separated dev@seconds provider kills (wall clock after the run starts), e.g. 1@0.5")
 	heartbeat := flag.Duration("heartbeat", 0, "provider heartbeat period (0 = default 50ms, negative disables health tracking)")
+	transportSpec := flag.String("transport", "tcp", "wire stack: tcp|tcp+gob|inproc")
+	trace := flag.Bool("trace", false, "shape the transport with the planned WiFi traces (charge trace latency per payload byte)")
 	flag.Parse()
 
 	providers, err := distredge.ParseProviders(*provSpec)
@@ -57,17 +64,27 @@ func main() {
 		fatal(err)
 	}
 
-	cluster, err := sys.Deploy(plan, runtime.Options{
+	tr, err := distredge.ParseTransport(*transportSpec)
+	if err != nil {
+		fatal(err)
+	}
+	opts := runtime.Options{
 		TimeScale:         *timescale,
 		BytesScale:        *bytescale,
 		Recover:           *recover,
 		HeartbeatInterval: *heartbeat,
-	})
+		Transport:         tr,
+	}
+	if *trace {
+		opts.Transport = sys.ShapedTransport(tr, opts)
+	}
+	cluster, err := sys.Deploy(plan, opts)
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Close()
-	fmt.Printf("deployed %d providers; requester at %s\n", cluster.NumProviders(), cluster.Addr())
+	fmt.Printf("deployed %d providers over %s; requester at %s\n",
+		cluster.NumProviders(), cluster.Transport().Name(), cluster.Addr())
 
 	for _, k := range kills {
 		if k.dev < 0 || k.dev >= cluster.NumProviders() {

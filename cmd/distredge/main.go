@@ -7,6 +7,7 @@
 //	distredge -model vgg16 -providers xavier:200,xavier:200,nano:200,nano:200
 //	distredge -model yolov2 -providers nano:50,nano:100,tx2:200 -effort full
 //	distredge -model vgg16 -providers nano:100,nano:100 -baselines
+//	distredge -model vgg16 -providers nano:50,nano:50 -deploy -transport inproc -trace
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"distredge"
+	"distredge/internal/runtime"
 )
 
 func main() {
@@ -34,6 +36,11 @@ func main() {
 	loadPath := flag.String("load", "", "evaluate a previously saved strategy instead of planning")
 	churnSpec := flag.String("churn", "", "scripted fleet events, e.g. 'drop:1@2.5,slow:2x3@4,join:1@8' (see ParseChurn)")
 	noRecover := flag.Bool("norecover", false, "with -churn: disable re-planning, so a drop truncates the stream")
+	deploy := flag.Bool("deploy", false, "also deploy the plan on the real runtime and measure it")
+	transportSpec := flag.String("transport", "tcp", "with -deploy: wire stack tcp|tcp+gob|inproc")
+	trace := flag.Bool("trace", false, "with -deploy: shape the transport with the planned WiFi traces")
+	timescale := flag.Float64("timescale", 0.05, "with -deploy: compute emulation time scale")
+	bytescale := flag.Float64("bytescale", 0.001, "with -deploy: payload byte scale")
 	flag.Parse()
 
 	if *describe {
@@ -120,6 +127,32 @@ func main() {
 		if crep.FailedAtSec >= 0 {
 			fmt.Printf("               stream truncated at t=%.2fs: %d images lost\n", crep.FailedAtSec, crep.Failed)
 		}
+	}
+
+	if *deploy {
+		tr, err := distredge.ParseTransport(*transportSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale}
+		if *trace {
+			opts.Transport = sys.ShapedTransport(tr, opts)
+		} else {
+			opts.Transport = tr
+		}
+		cluster, err := sys.Deploy(plan, opts)
+		if err != nil {
+			fatal(err)
+		}
+		stats, runErr := cluster.RunPipelined(*images, *window)
+		cluster.Close()
+		if runErr != nil {
+			fatal(runErr)
+		}
+		// Wall-clock measurements map back to model time via the scales.
+		fmt.Printf("%-14s IPS=%7.2f  latency=%7.1fms  (measured over %s, %d images, window %d, model scale)\n",
+			"deployed", stats.IPS**timescale, stats.MeanLatMS()/(*timescale),
+			opts.Transport.Name(), stats.Completed, stats.Window)
 	}
 
 	if *timeline {

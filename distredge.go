@@ -239,12 +239,14 @@ func (s *System) EvaluatePipelined(p *Plan, images, window int) (PipelineReport,
 	}, nil
 }
 
-// Deploy executes the plan over real TCP sockets on localhost with emulated
-// compute (see internal/runtime). Close the returned cluster when done.
-// Cluster.Run streams sequentially; Cluster.RunPipelined keeps an admission
-// window of images in flight. With opts.Recover, a provider dying mid-run
-// is quarantined and the strategy re-planned over the survivors instead of
-// failing the run.
+// Deploy executes the plan on the real runtime with emulated compute (see
+// internal/runtime). The wire stack is opts.Transport — localhost TCP with
+// the binary chunk codec when nil; see ParseTransport for the named stacks
+// and ShapedTransport for charging this system's WiFi traces to the wire.
+// Close the returned cluster when done. Cluster.Run streams sequentially;
+// Cluster.RunPipelined keeps an admission window of images in flight. With
+// opts.Recover, a provider dying mid-run is quarantined and the strategy
+// re-planned over the survivors instead of failing the run.
 func (s *System) Deploy(p *Plan, opts runtime.Options) (*runtime.Cluster, error) {
 	return runtime.Deploy(s.env, p.Strategy, opts)
 }

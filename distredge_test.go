@@ -164,21 +164,6 @@ func TestFinetunerAdaptsToDynamicNetwork(t *testing.T) {
 	}
 }
 
-func TestParseProviders(t *testing.T) {
-	ps, err := ParseProviders("xavier:200, nano:50.5,pi3:10")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ps) != 3 || ps[1].Type != "nano" || ps[1].BandwidthMbps != 50.5 {
-		t.Fatalf("parsed %+v", ps)
-	}
-	for _, bad := range []string{"", "nano", "nano:fast", "nano:100:x"} {
-		if _, err := ParseProviders(bad); err == nil {
-			t.Errorf("spec %q should fail", bad)
-		}
-	}
-}
-
 func TestDescribeModel(t *testing.T) {
 	s, err := DescribeModel("yolov2")
 	if err != nil {
@@ -245,34 +230,6 @@ func TestSaveLoadPlan(t *testing.T) {
 	}
 	if _, err := other.LoadPlan(data); err == nil {
 		t.Error("cross-model plan load must fail")
-	}
-}
-
-func TestParseChurn(t *testing.T) {
-	events, err := ParseChurn("drop:1@2.5, slow:2x3@4 ,join:1@8")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []ChurnEvent{
-		{Kind: "drop", Device: 1, AtSec: 2.5, Factor: 1},
-		{Kind: "slow", Device: 2, AtSec: 4, Factor: 3},
-		{Kind: "join", Device: 1, AtSec: 8, Factor: 1},
-	}
-	if len(events) != len(want) {
-		t.Fatalf("events = %+v", events)
-	}
-	for i := range want {
-		if events[i] != want[i] {
-			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
-		}
-	}
-	if ev, err := ParseChurn(""); err != nil || ev != nil {
-		t.Errorf("empty spec: %v %v", ev, err)
-	}
-	for _, bad := range []string{"drop:1", "drop@2", "slow:1@2", "drop:x@2", "drop:1@x"} {
-		if _, err := ParseChurn(bad); err == nil {
-			t.Errorf("spec %q must error", bad)
-		}
 	}
 }
 

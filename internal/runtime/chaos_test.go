@@ -24,6 +24,7 @@ func TestChaosKillMidWindowStickyFailure(t *testing.T) {
 		Timeout:           30 * time.Second, // failing fast must not depend on it
 		HeartbeatInterval: 15 * time.Millisecond,
 		HeartbeatMisses:   3,
+		Transport:         testTransport(),
 	}
 	cl, err := Deploy(env, s, opts)
 	if err != nil {
@@ -91,6 +92,7 @@ func TestChaosHeartbeatOnlyDetection(t *testing.T) {
 		Timeout:           30 * time.Second,
 		HeartbeatInterval: 10 * time.Millisecond,
 		HeartbeatMisses:   3,
+		Transport:         testTransport(),
 	}
 	cl, err := Deploy(env, s, opts)
 	if err != nil {

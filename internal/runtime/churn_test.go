@@ -19,6 +19,7 @@ func recoverOpts() Options {
 		Recover:           true,
 		HeartbeatInterval: 15 * time.Millisecond,
 		HeartbeatMisses:   3,
+		Transport:         testTransport(),
 	}
 }
 
@@ -177,6 +178,7 @@ func TestChurnDifferentialSimVsRuntime(t *testing.T) {
 		t.Helper()
 		o := opts
 		o.Recover = recover
+		o.Transport = testTransport() // fresh namespace per cluster
 		cl, err := Deploy(env, s, o)
 		if err != nil {
 			t.Fatal(err)

@@ -1,25 +1,18 @@
 package runtime
 
 import (
-	"encoding/gob"
 	"fmt"
-	"net"
 	"sync"
 	"time"
+
+	"distredge/internal/transport"
 )
 
 // Chunk is the wire unit: rows [Lo,Hi) of generation Volume (-1 = the input
-// image) for one image. Payload carries the (scaled) activation bytes.
-type Chunk struct {
-	Image   uint32
-	Volume  int32
-	Lo, Hi  int32
-	Payload []byte
-
-	// destHint routes the chunk through the provider's outbox; unexported,
-	// so gob never puts it on the wire.
-	destHint int
-}
+// image, -2 a heartbeat) for one image. Payload carries the (scaled)
+// activation bytes. It is the transport layer's framed message; which wire
+// format and medium carry it is Options.Transport's business.
+type Chunk = transport.Message
 
 // chunkKey identifies a chunk's coordinates within one image.
 type chunkKey struct {
@@ -27,17 +20,12 @@ type chunkKey struct {
 	lo, hi int
 }
 
-// conn wraps an outbound gob connection with a send lock.
-type conn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
-}
-
-func (o *conn) send(ch Chunk) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.enc.Encode(ch)
+// outMsg pairs a chunk with its destination for the send thread. The
+// explicit struct replaces the seed's unexported destHint field on Chunk,
+// which only worked because gob skipped it.
+type outMsg struct {
+	dest int
+	ch   Chunk
 }
 
 // workItem identifies one ready step of one image — the unit the compute
@@ -111,21 +99,22 @@ type imageState struct {
 	scheduled []bool // indexed by step
 }
 
-// Provider is one service provider node: a TCP listener plus the worker
-// goroutines of Section V-A (receive, compute, send) and — when health
-// tracking is on — a heartbeat thread.
+// Provider is one service provider node: a transport listener plus the
+// worker goroutines of Section V-A (receive, compute, send) and — when
+// health tracking is on — a heartbeat thread.
 type Provider struct {
 	plan  ProviderPlan
 	epoch int // deployment epoch, stamped on heartbeats
-	ln    net.Listener
+	tr    transport.Transport
+	ln    transport.Listener
 
-	peers     map[int]*conn // lazily dialled outbound links
+	peers     map[int]transport.Conn // lazily dialled outbound links
 	peerAddrs map[int]string
 	peerMu    sync.Mutex
 
 	inbox  chan Chunk
 	work   *workQueue
-	outbox chan Chunk
+	outbox chan outMsg
 
 	mu     sync.Mutex
 	images map[uint32]*imageState // in-flight image -> assembly state
@@ -139,23 +128,24 @@ type Provider struct {
 	fail   func(suspect int, err error) // cluster-level error sink; nil drops errors
 }
 
-// newProvider starts a provider listening on localhost. Errors that occur
-// while the provider is live (not shutting down) are reported to fail,
-// attributed to the peer the provider was talking to.
-func newProvider(plan ProviderPlan, epoch int, hb time.Duration, fail func(int, error)) (*Provider, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// newProvider starts a provider listening on the given transport. Errors
+// that occur while the provider is live (not shutting down) are reported to
+// fail, attributed to the peer the provider was talking to.
+func newProvider(plan ProviderPlan, epoch int, hb time.Duration, fail func(int, error), tr transport.Transport) (*Provider, error) {
+	ln, err := tr.Listen(plan.Index)
 	if err != nil {
 		return nil, err
 	}
 	p := &Provider{
 		plan:      plan,
 		epoch:     epoch,
+		tr:        tr,
 		ln:        ln,
-		peers:     make(map[int]*conn),
+		peers:     make(map[int]transport.Conn),
 		peerAddrs: make(map[int]string),
 		inbox:     make(chan Chunk, 256),
 		work:      newWorkQueue(),
-		outbox:    make(chan Chunk, 256),
+		outbox:    make(chan outMsg, 256),
 		images:    make(map[uint32]*imageState),
 		hb:        hb,
 		done:      make(chan struct{}),
@@ -195,7 +185,7 @@ func (p *Provider) heartbeatLoop() {
 }
 
 // Addr returns the provider's listen address.
-func (p *Provider) Addr() string { return p.ln.Addr().String() }
+func (p *Provider) Addr() string { return p.ln.Addr() }
 
 func (p *Provider) setPeers(addrs map[int]string) {
 	p.peerMu.Lock()
@@ -219,10 +209,9 @@ func (p *Provider) acceptLoop() {
 			return
 		}
 		go func() {
-			dec := gob.NewDecoder(c)
 			for {
-				var ch Chunk
-				if err := dec.Decode(&ch); err != nil {
+				ch, err := c.Recv()
+				if err != nil {
 					c.Close()
 					return
 				}
@@ -330,7 +319,7 @@ func (p *Provider) computeLoop() {
 				continue
 			}
 			select {
-			case p.outbox <- markDest(ch, r.Dest):
+			case p.outbox <- outMsg{dest: r.Dest, ch: ch}:
 			case <-p.done:
 				return
 			}
@@ -338,26 +327,48 @@ func (p *Provider) computeLoop() {
 	}
 }
 
-// markDest attaches the destination for the send loop via the unexported
-// (never serialised) destHint field.
-func markDest(ch Chunk, dest int) Chunk {
-	ch.destHint = dest
-	return ch
+// sendLoop is the send thread: it dispatches outbound chunks to one sender
+// worker per destination, so transfers to distinct peers overlap while
+// chunks to the same peer stay ordered. A single serial sender was
+// equivalent when sends were localhost-cheap, but with a shaped transport
+// charging real trace latency per payload it would serialise what both the
+// simulator (independent directed-link busy floors) and a real testbed
+// (one TCP stream per pair) allow to proceed in parallel.
+func (p *Provider) sendLoop() {
+	defer p.wg.Done()
+	workers := make(map[int]chan outMsg)
+	for {
+		select {
+		case <-p.done:
+			return
+		case o := <-p.outbox:
+			w, ok := workers[o.dest]
+			if !ok {
+				w = make(chan outMsg, 64)
+				workers[o.dest] = w
+				p.wg.Add(1)
+				go p.destSender(o.dest, w)
+			}
+			select {
+			case w <- o:
+			case <-p.done:
+				return
+			}
+		}
+	}
 }
 
-// sendLoop is the send thread: it dials peers lazily and ships chunks.
-// Failures while the cluster is live are reported so the requester can fail
-// the run immediately instead of waiting out the per-image timeout.
-func (p *Provider) sendLoop() {
+// destSender ships chunks to one destination in order. Failures while the
+// cluster is live are reported so the requester can fail the run
+// immediately instead of waiting out the per-image timeout.
+func (p *Provider) destSender(dest int, w chan outMsg) {
 	defer p.wg.Done()
 	for {
 		select {
 		case <-p.done:
 			return
-		case ch := <-p.outbox:
-			dest := ch.destHint
-			ch.destHint = 0
-			if err := p.sendTo(dest, ch); err != nil {
+		case o := <-w:
+			if err := p.sendTo(dest, o.ch); err != nil {
 				select {
 				case <-p.done:
 					// Shutting down: connection teardown is expected.
@@ -380,16 +391,16 @@ func (p *Provider) sendTo(dest int, ch Chunk) error {
 			p.peerMu.Unlock()
 			return fmt.Errorf("runtime: provider %d has no address for %d", p.plan.Index, dest)
 		}
-		c, err := net.Dial("tcp", addr)
+		c, err := p.tr.Dial(p.plan.Index, addr)
 		if err != nil {
 			p.peerMu.Unlock()
 			return err
 		}
-		o = &conn{enc: gob.NewEncoder(c), c: c}
+		o = c
 		p.peers[dest] = o
 	}
 	p.peerMu.Unlock()
-	return o.send(ch)
+	return o.Send(ch)
 }
 
 // gc drops assembly state for every image below `before`. The requester
@@ -417,7 +428,7 @@ func (p *Provider) close() {
 		p.ln.Close()
 		p.peerMu.Lock()
 		for _, o := range p.peers {
-			o.c.Close()
+			o.Close()
 		}
 		p.peerMu.Unlock()
 	})

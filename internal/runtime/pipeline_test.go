@@ -47,7 +47,7 @@ func TestSelfRouteFanoutNoDeadlock(t *testing.T) {
 			RowBytes: 1,
 		})
 	}
-	p, err := newProvider(plan, 0, 0, nil)
+	p, err := newProvider(plan, 0, 0, nil, testTransport())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestTimeoutIsAnOption(t *testing.T) {
 	env := testEnv(device.Nano, device.Nano)
 	s := equalStrategy(env, []int{0, 18})
 	// Full-scale compute sleeps are far longer than the 10ms budget.
-	cl, err := Deploy(env, s, Options{TimeScale: 1, BytesScale: 0.001, Timeout: 10 * time.Millisecond})
+	cl, err := Deploy(env, s, Options{TimeScale: 1, BytesScale: 0.001, Timeout: 10 * time.Millisecond, Transport: testTransport()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,12 +224,12 @@ func TestPipelinedThroughputOrderingMatchesSim(t *testing.T) {
 		t.Fatalf("simulator must predict a pipelined speedup: %.3f vs %.3f", pipSim.IPS, seqSim.IPS)
 	}
 
-	// Scaled TCP runtime: compute sleeps dominate (payloads scaled tiny),
+	// Scaled runtime: compute sleeps dominate (payloads scaled tiny),
 	// so the measured ordering is robust to scheduler noise.
-	opts := Options{TimeScale: 0.1, BytesScale: 0.001}
 	const images = 12
 	run := func(window int) RunStats {
 		t.Helper()
+		opts := Options{TimeScale: 0.1, BytesScale: 0.001, Transport: testTransport()}
 		cl, err := Deploy(env, s, opts)
 		if err != nil {
 			t.Fatal(err)

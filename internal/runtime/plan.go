@@ -1,18 +1,21 @@
-// Package runtime executes a distribution strategy over real TCP sockets on
-// localhost, reproducing the paper's deployment (Section V-A): a controller
-// derives per-provider plans from the strategy, split-part weights are
-// preloaded, each provider runs three goroutines (receive, compute, send)
-// sharing queues, and the requester streams images through an admission
-// window — Run keeps one image in flight (the paper's protocol: an image is
-// not sent until the previous result returns), RunPipelined keeps K in
-// flight so providers overlap different images' steps and the run measures
-// sustained throughput.
+// Package runtime executes a distribution strategy over a pluggable wire
+// stack (internal/transport), reproducing the paper's deployment
+// (Section V-A): a controller derives per-provider plans from the strategy,
+// split-part weights are preloaded, each provider runs three goroutines
+// (receive, compute, send) sharing queues, and the requester streams images
+// through an admission window — Run keeps one image in flight (the paper's
+// protocol: an image is not sent until the previous result returns),
+// RunPipelined keeps K in flight so providers overlap different images'
+// steps and the run measures sustained throughput.
 //
 // Compute is emulated: providers sleep for the device model's latency
 // (scaled by Options.TimeScale) instead of running CUDA kernels, and
 // payloads carry the real activation byte counts (scaled by
 // Options.BytesScale). The protocol — framing, routing, assembly, FC
-// gathering — is fully real.
+// gathering — is fully real, over whatever medium Options.Transport
+// selects: localhost TCP sockets (the default, and the paper's testbed
+// shape), in-process channels, trace-shaped links that reproduce the
+// simulator's WiFi conditions, or a chaos-injecting decorator.
 package runtime
 
 import (
@@ -23,6 +26,7 @@ import (
 	"distredge/internal/device"
 	"distredge/internal/sim"
 	"distredge/internal/strategy"
+	"distredge/internal/transport"
 )
 
 // RequesterID is the destination index denoting the service requester.
@@ -58,6 +62,15 @@ type Options struct {
 	// splitter.BalancedReplan (profile-guided balanced cuts over the
 	// survivors, no training on the serving path).
 	Replan sim.ReplanFunc
+
+	// Transport selects the wire stack the cluster deploys over: nil means
+	// localhost TCP with the binary chunk codec (the original runtime
+	// shape). transport.NewInproc gives a socket-free in-process cluster;
+	// transport.NewShaped charges the simulator's WiFi trace latency to
+	// every payload byte; transport.NewChaos injects seeded faults. One
+	// Transport value is one network namespace — do not share an Inproc
+	// across unrelated clusters.
+	Transport transport.Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HeartbeatMisses <= 0 {
 		o.HeartbeatMisses = 6
+	}
+	if o.Transport == nil {
+		o.Transport = transport.NewTCP(nil)
 	}
 	return o
 }

@@ -79,7 +79,7 @@ func (c *Cluster) recover() (float64, error) {
 	}
 	c.linkMu.Lock()
 	for d, o := range c.links {
-		o.c.Close()
+		o.Close()
 		delete(c.links, d)
 	}
 	c.linkMu.Unlock()
@@ -125,12 +125,12 @@ func (c *Cluster) recover() (float64, error) {
 	c.failMu.Unlock()
 
 	provs := make([]*Provider, len(alive))
-	addrs := map[int]string{RequesterID: c.ln.Addr().String()}
+	addrs := map[int]string{RequesterID: c.ln.Addr()}
 	for _, pp := range plan.Providers {
 		if !alive[pp.Index] {
 			continue
 		}
-		p, err := newProvider(pp, epoch, c.opts.HeartbeatInterval, c.providerFailFn(epoch))
+		p, err := newProvider(pp, epoch, c.opts.HeartbeatInterval, c.providerFailFn(epoch), c.tr)
 		if err != nil {
 			for _, q := range provs {
 				if q != nil {

@@ -1,14 +1,13 @@
 package runtime
 
 import (
-	"encoding/gob"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
 	"distredge/internal/sim"
 	"distredge/internal/strategy"
+	"distredge/internal/transport"
 )
 
 // Cluster is a deployed strategy: live providers plus the requester-side
@@ -27,7 +26,8 @@ type Cluster struct {
 	providers []*Provider
 	alive     []bool
 
-	ln      net.Listener
+	tr      transport.Transport
+	ln      transport.Listener
 	resMu   sync.Mutex
 	pending map[uint32]map[chunkKey]bool
 	arrived map[uint32]chan struct{}
@@ -37,7 +37,7 @@ type Cluster struct {
 	gcLow     uint32
 	nextImg   uint32 // monotonic across runs, so image ids are never reused
 
-	links  map[int]*conn
+	links  map[int]transport.Conn
 	linkMu sync.Mutex
 	done   chan struct{}
 	closed sync.Once
@@ -55,7 +55,8 @@ type Cluster struct {
 }
 
 // Deploy builds the plan for a strategy and starts one provider per device
-// on localhost.
+// over Options.Transport (default: localhost TCP with the binary chunk
+// codec).
 func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
 	plan, err := BuildPlan(env, strat, opts)
@@ -73,7 +74,8 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 		arrived:   make(map[uint32]chan struct{}),
 		completed: make(map[uint32]bool),
 		gcLow:     1,
-		links:     make(map[int]*conn),
+		tr:        opts.Transport,
+		links:     make(map[int]transport.Conn),
 		done:      make(chan struct{}),
 		failed:    make(chan struct{}),
 		failIdx:   -1,
@@ -83,7 +85,7 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 	}
 	addrs := make(map[int]string)
 	for _, pp := range plan.Providers {
-		p, err := newProvider(pp, 0, opts.HeartbeatInterval, c.providerFailFn(0))
+		p, err := newProvider(pp, 0, opts.HeartbeatInterval, c.providerFailFn(0), c.tr)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -92,13 +94,13 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 		addrs[pp.Index] = p.Addr()
 	}
 	// Requester result listener.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := c.tr.Listen(RequesterID)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
 	c.ln = ln
-	addrs[RequesterID] = ln.Addr().String()
+	addrs[RequesterID] = ln.Addr()
 	for _, p := range c.providers {
 		p.setPeers(addrs)
 	}
@@ -127,7 +129,10 @@ func (c *Cluster) providerFailFn(epoch int) func(int, error) {
 }
 
 // Addr returns the requester's result listener address.
-func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+func (c *Cluster) Addr() string { return c.ln.Addr() }
+
+// Transport returns the wire stack the cluster is deployed over.
+func (c *Cluster) Transport() transport.Transport { return c.tr }
 
 // failProvider records the first failure of the given epoch, remembering
 // the suspected provider (-1 = unknown), and wakes every waiter so a dead
@@ -186,10 +191,9 @@ func (c *Cluster) acceptResults() {
 			return
 		}
 		go func() {
-			dec := gob.NewDecoder(cn)
 			for {
-				var ch Chunk
-				if err := dec.Decode(&ch); err != nil {
+				ch, err := cn.Recv()
+				if err != nil {
 					cn.Close()
 					return
 				}
@@ -255,10 +259,17 @@ func (c *Cluster) complete(img uint32) {
 	}
 }
 
-// sendInput scatters one image's input rows to the volume-0 providers. A
-// failed scatter is attributed to the destination provider so recovery can
+// sendInput scatters one image's input rows to the volume-0 providers.
+// Per-destination sends run concurrently — the single-image oracle's
+// scatter model, and what per-pair connections really allow — while the
+// admission loop's serial sendInput calls keep successive images' scatters
+// ordered like the pipeline simulator's uplink busy floor. A failed
+// scatter is attributed to its destination provider so recovery can
 // quarantine it.
 func (c *Cluster) sendInput(img uint32) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	firstErr, firstDest := error(nil), -1
 	for k, need := range c.plan.Scatter {
 		dest := c.plan.ScatterDest[k]
 		ch := Chunk{
@@ -268,11 +279,23 @@ func (c *Cluster) sendInput(img uint32) error {
 			Hi:      int32(need.Hi),
 			Payload: make([]byte, (need.Hi-need.Lo)*c.plan.InputRowBytes),
 		}
-		if err := c.sendToProvider(dest, ch); err != nil {
-			err = fmt.Errorf("runtime: scatter image %d to provider %d: %w", img, dest, err)
-			c.failNow(dest, err)
-			return err
-		}
+		wg.Add(1)
+		go func(dest int, ch Chunk) {
+			defer wg.Done()
+			if err := c.sendToProvider(dest, ch); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr, firstDest = err, dest
+				}
+				mu.Unlock()
+			}
+		}(dest, ch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		err := fmt.Errorf("runtime: scatter image %d to provider %d: %w", img, firstDest, firstErr)
+		c.failNow(firstDest, err)
+		return err
 	}
 	return nil
 }
@@ -291,16 +314,16 @@ func (c *Cluster) sendToProvider(dest int, ch Chunk) error {
 			c.linkMu.Unlock()
 			return fmt.Errorf("runtime: provider %d is quarantined", dest)
 		}
-		cn, err := net.Dial("tcp", p.Addr())
+		cn, err := c.tr.Dial(RequesterID, p.Addr())
 		if err != nil {
 			c.linkMu.Unlock()
 			return err
 		}
-		o = &conn{enc: gob.NewEncoder(cn), c: cn}
+		o = cn
 		c.links[dest] = o
 	}
 	c.linkMu.Unlock()
-	return o.send(ch)
+	return o.Send(ch)
 }
 
 // RunStats summarises a streaming run over the cluster.
@@ -317,6 +340,20 @@ type RunStats struct {
 	Requeued    int     // images re-scattered after a recovery
 	ReplanMS    float64 // total wall-clock spent re-planning and redeploying
 	Quarantined []int   // providers removed from the fleet, in index order
+}
+
+// MeanLatMS returns the mean admission-to-completion latency over
+// PerImageMS (0 for an empty run). Images that never completed count as
+// their recorded zero, matching how PerImageMS reports them.
+func (s RunStats) MeanLatMS() float64 {
+	if len(s.PerImageMS) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.PerImageMS {
+		sum += v
+	}
+	return sum / float64(len(s.PerImageMS))
 }
 
 // Run streams `images` images through the deployed strategy one at a time
@@ -525,7 +562,7 @@ func (c *Cluster) Close() {
 		}
 		c.linkMu.Lock()
 		for _, o := range c.links {
-			o.c.Close()
+			o.Close()
 		}
 		c.linkMu.Unlock()
 		c.provMu.Lock()

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"distredge/internal/cnn"
@@ -8,6 +10,7 @@ import (
 	"distredge/internal/network"
 	"distredge/internal/sim"
 	"distredge/internal/strategy"
+	"distredge/internal/transport"
 )
 
 func testEnv(types ...device.Type) *sim.Env {
@@ -28,8 +31,27 @@ func equalStrategy(env *sim.Env, boundaries []int) *strategy.Strategy {
 	return s
 }
 
+// testTransport builds a fresh transport of the kind under test. The
+// DISTREDGE_TEST_TRANSPORT environment variable selects the suite-wide
+// default — "inproc" (the default: fast, race-clean, no socket timing),
+// "tcp" (binary codec) or "tcp+gob" (the legacy wire format) — so CI runs
+// the same suites over sockets and over channels. Tests that pin a
+// transport (equivalence, shaped/chaos differentials) construct their own.
+func testTransport() transport.Transport {
+	switch v := os.Getenv("DISTREDGE_TEST_TRANSPORT"); v {
+	case "", "inproc":
+		return transport.NewInproc()
+	case "tcp":
+		return transport.NewTCP(nil)
+	case "tcp+gob":
+		return transport.NewTCP(transport.Gob())
+	default:
+		panic(fmt.Sprintf("unknown DISTREDGE_TEST_TRANSPORT %q (want inproc|tcp|tcp+gob)", v))
+	}
+}
+
 func fastOpts() Options {
-	return Options{TimeScale: 0.002, BytesScale: 0.001}
+	return Options{TimeScale: 0.002, BytesScale: 0.001, Transport: testTransport()}
 }
 
 func TestBuildPlanCoverage(t *testing.T) {
@@ -137,9 +159,9 @@ func TestClusterSlowDeviceShowsInLatency(t *testing.T) {
 	fast := testEnv(device.Xavier, device.Xavier)
 	slow := testEnv(device.Nano, device.Nano)
 	bound := []int{0, 10, 14, 18}
-	opts := Options{TimeScale: 0.02, BytesScale: 0.001}
 
 	run := func(env *sim.Env) float64 {
+		opts := Options{TimeScale: 0.02, BytesScale: 0.001, Transport: testTransport()}
 		s := equalStrategy(env, bound)
 		cl, err := Deploy(env, s, opts)
 		if err != nil {

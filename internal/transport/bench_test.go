@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkChunkCodec measures encode+decode of one data chunk through a
+// stateful stream for each codec and payload size — the hot path every
+// activation row crosses on socket transports. The binary codec must beat
+// gob in both ns/op and allocs/op (BENCH_baseline.json records the
+// snapshot).
+func BenchmarkChunkCodec(b *testing.B) {
+	for _, codec := range []Codec{Gob(), Binary()} {
+		for _, payload := range []int{1 << 10, 64 << 10, 1 << 20} {
+			b.Run(fmt.Sprintf("%s/%dKiB", codec.Name(), payload>>10), func(b *testing.B) {
+				var buf bytes.Buffer
+				enc := codec.NewEncoder(&buf)
+				dec := codec.NewDecoder(&buf)
+				msg := testMessage(payload)
+				var out Message
+				b.SetBytes(int64(payload))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := enc.Encode(&msg); err != nil {
+						b.Fatal(err)
+					}
+					if err := dec.Decode(&out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInprocRoundtrip measures a send+recv pair over the in-process
+// transport — the per-chunk overhead every inproc runtime test pays in
+// place of a socket write.
+func BenchmarkInprocRoundtrip(b *testing.B) {
+	tr := NewInproc()
+	ln, err := tr.Listen(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	acceptedCh := make(chan Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		acceptedCh <- c
+	}()
+	conn, err := tr.Dial(1, ln.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	accepted := <-acceptedCh
+	msg := testMessage(64 << 10)
+	b.SetBytes(int64(len(msg.Payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := accepted.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPRoundtrip measures the same send+recv pair over a real
+// localhost socket with each codec, so the inproc and codec numbers have a
+// socket baseline to compare against.
+func BenchmarkTCPRoundtrip(b *testing.B) {
+	for _, codec := range []Codec{Gob(), Binary()} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			tr := NewTCP(codec)
+			ln, err := tr.Listen(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			acceptedCh := make(chan Conn, 1)
+			go func() {
+				c, _ := ln.Accept()
+				acceptedCh <- c
+			}()
+			conn, err := tr.Dial(1, ln.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			accepted := <-acceptedCh
+			msg := testMessage(64 << 10)
+			b.SetBytes(int64(len(msg.Payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := accepted.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

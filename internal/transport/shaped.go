@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"distredge/internal/network"
+)
+
+// Shaped decorates any inner transport so that every payload byte is
+// charged the WiFi latency of a network.Network trace — the same model the
+// simulator evaluates. The real runtime can then experience the paper's
+// trace conditions (stable, highly dynamic, per-device heterogeneous) on
+// top of a wire that is otherwise free, closing the sim↔runtime fidelity
+// gap localhost TCP leaves open.
+//
+// Charging happens on the *sending* side of a dialled connection, before
+// the message enters the inner transport, and the per-connection send lock
+// is held for the duration: one directed link transfers one payload at a
+// time, which is exactly the per-link busy floor sim.PipelineStream models
+// (and, for the requester's scatter, its serialised uplink — the
+// requester's input rows all leave through Send on its per-destination
+// conns, so scatter bytes queue behind each other just as the simulator
+// charges them). Control messages carry no payload and pass free.
+//
+// Time mapping: wall-clock seconds since the transport's *first charged
+// send*, divided by TimeScale, are the trace time offset from Start —
+// consistent with the runtime scaling compute sleeps by the same
+// TimeScale. Anchoring at the first send rather than at construction
+// keeps deployment setup (plan build, listener spin-up) from skewing the
+// trace origin: the skew would be amplified by 1/TimeScale, and on a
+// dynamic trace the run would then be charged a different phase of the
+// trace than the simulator predicts from t = Start. Payload lengths are
+// divided by BytesScale to recover model bytes, so the charged latency
+// equals the simulator's TransferLatency for the unscaled activation
+// regardless of how small the emulation payloads are.
+type Shaped struct {
+	inner      Transport
+	net        *network.Network
+	timeScale  float64
+	bytesScale float64
+	start      float64
+
+	t0Once sync.Once
+	t0     time.Time
+}
+
+// NewShaped wraps inner so sends are charged trace latency from net.
+// timeScale and bytesScale should match the runtime Options the cluster is
+// deployed with (zero means 1); start is the trace-time origin in seconds.
+func NewShaped(inner Transport, net *network.Network, timeScale, bytesScale, start float64) *Shaped {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	if bytesScale <= 0 {
+		bytesScale = 1
+	}
+	return &Shaped{
+		inner:      inner,
+		net:        net,
+		timeScale:  timeScale,
+		bytesScale: bytesScale,
+		start:      start,
+	}
+}
+
+func (t *Shaped) Name() string { return "shaped+" + t.inner.Name() }
+
+// traceTime returns the current trace time in model seconds, anchoring
+// the wall clock at the first charged send.
+func (t *Shaped) traceTime() float64 {
+	t.t0Once.Do(func() { t.t0 = time.Now() })
+	return t.start + time.Since(t.t0).Seconds()/t.timeScale
+}
+
+func (t *Shaped) Listen(self int) (Listener, error) {
+	ln, err := t.inner.Listen(self)
+	if err != nil {
+		return nil, err
+	}
+	return &shapedListener{ln: ln, self: self}, nil
+}
+
+func (t *Shaped) Dial(self int, addr string) (Conn, error) {
+	to, rest, err := splitDevAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.inner.Dial(self, rest)
+	if err != nil {
+		return nil, err
+	}
+	return &shapedConn{Conn: c, t: t, from: self, to: to}, nil
+}
+
+// shapedListener publishes the endpoint's device index in its address so
+// dialling peers know which link to charge. Accepted conns pass through
+// unwrapped: shaping charges the dialling side's sends, and the runtime
+// only sends on dialled connections.
+type shapedListener struct {
+	ln   Listener
+	self int
+}
+
+func (l *shapedListener) Accept() (Conn, error) { return l.ln.Accept() }
+func (l *shapedListener) Addr() string          { return encodeDevAddr(l.self, l.ln.Addr()) }
+func (l *shapedListener) Close() error          { return l.ln.Close() }
+
+type shapedConn struct {
+	Conn
+	t        *Shaped
+	from, to int
+	mu       sync.Mutex
+}
+
+func (c *shapedConn) Send(m Message) error {
+	if len(m.Payload) > 0 {
+		modelBytes := float64(len(m.Payload)) / c.t.bytesScale
+		c.mu.Lock()
+		lat := c.t.net.TransferLatency(c.from, c.to, modelBytes, c.t.traceTime())
+		if lat > 0 {
+			time.Sleep(time.Duration(lat * c.t.timeScale * float64(time.Second)))
+		}
+		c.mu.Unlock()
+	}
+	return c.Conn.Send(m)
+}

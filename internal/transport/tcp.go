@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// tcpTransport carries messages over localhost TCP sockets — the original
+// runtime wire stack, now behind the Transport interface with the codec
+// made pluggable.
+type tcpTransport struct {
+	codec Codec
+}
+
+// NewTCP returns the localhost TCP transport using the given codec
+// (nil = Binary, the length-prefixed chunk codec; use Gob for the legacy
+// wire format).
+func NewTCP(codec Codec) Transport {
+	if codec == nil {
+		codec = Binary()
+	}
+	return &tcpTransport{codec: codec}
+}
+
+func (t *tcpTransport) Name() string { return "tcp+" + t.codec.Name() }
+
+func (t *tcpTransport) Listen(self int) (Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{ln: ln, codec: t.codec}, nil
+}
+
+func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c, t.codec), nil
+}
+
+// tcpListener tracks accepted connections so Close tears them down with the
+// listener: a closed endpoint looks like a dead process to its peers (their
+// next send fails) instead of a half-open socket that swallows traffic.
+type tcpListener struct {
+	ln    net.Listener
+	codec Codec
+
+	mu       sync.Mutex
+	accepted []*tcpConn
+	closed   bool
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	tc := newTCPConn(c, l.codec)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		tc.Close()
+		return nil, ErrClosed
+	}
+	l.accepted = append(l.accepted, tc)
+	l.mu.Unlock()
+	return tc, nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *tcpListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := l.accepted
+	l.accepted = nil
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// tcpConn frames messages over one socket. Sends are serialised by a mutex
+// (the compute results and heartbeats of one provider share its result
+// link) and buffered per message: the codec writes header and payload
+// separately, and coalescing them into one flush halves the syscalls on
+// the hot path.
+type tcpConn struct {
+	c net.Conn
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+	enc    Encoder
+
+	recvMu sync.Mutex
+	dec    Decoder
+}
+
+func newTCPConn(c net.Conn, codec Codec) *tcpConn {
+	bw := bufio.NewWriter(c)
+	return &tcpConn{
+		c:   c,
+		bw:  bw,
+		enc: codec.NewEncoder(bw),
+		dec: codec.NewDecoder(bufio.NewReader(c)),
+	}
+}
+
+func (c *tcpConn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(&m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *tcpConn) Recv() (Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var m Message
+	err := c.dec.Decode(&m)
+	return m, err
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }

@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"distredge/internal/runtime"
+	"distredge/internal/transport"
 )
 
 // ParseProviders parses the "type:bandwidthMbps,type:bandwidthMbps,..."
 // provider syntax shared by the command-line tools, e.g.
-// "xavier:200,nano:100,pi3:50".
+// "xavier:200,nano:100,pi3:50". Bandwidths must be positive finite numbers;
+// the device type must be non-empty (it is validated against the device
+// zoo later, by New).
 func ParseProviders(spec string) ([]Provider, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("distredge: empty provider spec")
@@ -20,11 +25,18 @@ func ParseProviders(spec string) ([]Provider, error) {
 		if len(bits) != 2 {
 			return nil, fmt.Errorf("distredge: bad provider %q (want type:bandwidthMbps)", part)
 		}
+		typ := strings.TrimSpace(bits[0])
+		if typ == "" {
+			return nil, fmt.Errorf("distredge: provider %q has an empty device type", part)
+		}
 		bw, err := strconv.ParseFloat(bits[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("distredge: bad bandwidth in %q: %v", part, err)
 		}
-		out = append(out, Provider{Type: strings.TrimSpace(bits[0]), BandwidthMbps: bw})
+		if bw <= 0 || bw != bw || bw > 1e9 {
+			return nil, fmt.Errorf("distredge: bandwidth in %q must be a positive number of Mbps", part)
+		}
+		out = append(out, Provider{Type: typ, BandwidthMbps: bw})
 	}
 	return out, nil
 }
@@ -36,11 +48,20 @@ func ParseProviders(spec string) ([]Provider, error) {
 //	join:DEV@T    — provider DEV rejoins at T
 //	slow:DEVxF@T  — provider DEV becomes F times slower at T
 //
-// e.g. "drop:1@2.5,slow:2x3@4,join:1@8".
+// e.g. "drop:1@2.5,slow:2x3@4,join:1@8". Times must be non-negative,
+// devices non-negative, slow factors positive, and no event may be an
+// exact duplicate of an earlier one (same kind, device and time — almost
+// always a typo for a different time).
 func ParseChurn(spec string) ([]ChurnEvent, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
+	type eventKey struct {
+		kind string
+		dev  int
+		at   float64
+	}
+	seen := make(map[eventKey]bool)
 	var out []ChurnEvent
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -56,6 +77,9 @@ func ParseChurn(spec string) ([]ChurnEvent, error) {
 		if err != nil {
 			return nil, fmt.Errorf("distredge: bad time in %q: %v", part, err)
 		}
+		if at < 0 || at != at {
+			return nil, fmt.Errorf("distredge: churn event %q has a negative time", part)
+		}
 		ev := ChurnEvent{Kind: strings.TrimSpace(kind), AtSec: at, Factor: 1}
 		if ev.Kind == "slow" {
 			dv, fv, ok := strings.Cut(devSpec, "x")
@@ -66,13 +90,57 @@ func ParseChurn(spec string) ([]ChurnEvent, error) {
 			if err != nil {
 				return nil, fmt.Errorf("distredge: bad factor in %q: %v", part, err)
 			}
+			if ev.Factor <= 0 || ev.Factor != ev.Factor {
+				return nil, fmt.Errorf("distredge: slow factor in %q must be positive", part)
+			}
 			devSpec = dv
 		}
 		ev.Device, err = strconv.Atoi(strings.TrimSpace(devSpec))
 		if err != nil {
 			return nil, fmt.Errorf("distredge: bad device in %q: %v", part, err)
 		}
+		if ev.Device < 0 {
+			return nil, fmt.Errorf("distredge: churn event %q has a negative device index", part)
+		}
+		key := eventKey{kind: ev.Kind, dev: ev.Device, at: ev.AtSec}
+		if seen[key] {
+			return nil, fmt.Errorf("distredge: duplicate churn event %q", part)
+		}
+		seen[key] = true
 		out = append(out, ev)
 	}
 	return out, nil
+}
+
+// ParseTransport builds the wire stack named by the command-line
+// -transport flag:
+//
+//	tcp      — localhost TCP sockets, binary chunk codec (the default)
+//	tcp+gob  — localhost TCP sockets, legacy gob wire format
+//	inproc   — in-process channels, no sockets (fast, race-clean)
+//
+// Wrap the result with System.ShapedTransport to charge the system's WiFi
+// trace latency to every payload byte (the -trace flag).
+func ParseTransport(spec string) (transport.Transport, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "tcp":
+		return transport.NewTCP(nil), nil
+	case "tcp+gob":
+		return transport.NewTCP(transport.Gob()), nil
+	case "inproc":
+		return transport.NewInproc(), nil
+	default:
+		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|inproc)", spec)
+	}
+}
+
+// ShapedTransport wraps a transport so the runtime's sends are charged
+// this system's WiFi trace latency (internal/transport's shaped
+// decorator): the deployed cluster then experiences the same network
+// conditions the simulator evaluates — including the dynamic traces of
+// WithDynamicNetwork — instead of localhost's free wire. The opts must be
+// the same runtime.Options the cluster is deployed with, so payload bytes
+// and wall-clock sleeps map back to model scale consistently.
+func (s *System) ShapedTransport(inner transport.Transport, opts runtime.Options) transport.Transport {
+	return transport.NewShaped(inner, s.env.Net, opts.TimeScale, opts.BytesScale, 0)
 }
