@@ -29,6 +29,7 @@ import (
 	"distredge/internal/network"
 	"distredge/internal/plot"
 	"distredge/internal/runtime"
+	"distredge/internal/sim"
 )
 
 func main() {
@@ -39,8 +40,10 @@ func main() {
 	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
 	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 and churn sweeps")
 	fracs := flag.String("failfracs", "0.25,0.5,0.75", "failure times for the churn sweep, as fractions of the churn-free run")
-	transportSpec := flag.String("transport", "inproc", "for -fig fidelity: runtime wire stack tcp|tcp+gob|inproc")
+	transportSpec := flag.String("transport", "inproc", "for -fig fidelity: runtime wire stack tcp|tcp+gob|tcp+deflate|inproc")
 	trace := flag.Bool("trace", false, "for -fig fidelity: shape the transport with the WiFi traces")
+	objectiveSpec := flag.String("objective", "", "for -fig fidelity: deploy a strategy planned with this objective (latency|ips) instead of the CoEdge baseline")
+	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for (-fig objective and -objective ips)")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -71,14 +74,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn"}
+	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective"}
 	if *fig != "all" {
 		figs = []string{*fig}
 	}
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps, winSizes, failFracs, *transportSpec, *trace); err != nil {
+		if err := run(f, b, *reps, winSizes, failFracs, *transportSpec, *trace, *objectiveSpec, *objWindow); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -130,9 +133,29 @@ func parseWindows(spec string) ([]int, error) {
 	return out, nil
 }
 
-func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, transportSpec string, trace bool) error {
+func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, transportSpec string, trace bool, objectiveSpec string, objWindow int) error {
 	if fig == "fidelity" {
-		return fidelity(b, windows, transportSpec, trace)
+		return fidelity(b, windows, transportSpec, trace, objectiveSpec, objWindow)
+	}
+	if fig == "objective" {
+		header("Objective — latency-optimal vs throughput-optimal (IPS) planner")
+		rows, err := experiments.FigObjective(b, windows, objWindow)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-9s %7s %8s %8s %9s %9s\n",
+			"case", "planner", "window", "IPS", "steady", "lat(ms)", "p95(ms)")
+		lastSeries := ""
+		for _, r := range rows {
+			series := r.Case + "/" + r.Planner
+			if series != lastSeries && lastSeries != "" {
+				fmt.Println()
+			}
+			lastSeries = series
+			fmt.Printf("%-24s %-9s %7d %8.2f %8.2f %9.1f %9.1f\n",
+				r.Case, r.Planner, r.Window, r.IPS, r.SteadyIPS, r.MeanLatMS, r.P95LatMS)
+		}
+		return nil
 	}
 	if fig == "churn" {
 		header("Churn — goodput & time-to-recover under a mid-stream device failure")
@@ -307,14 +330,17 @@ func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []
 	return nil
 }
 
-// fidelity cross-checks the simulator against the real runtime: the same
-// CoEdge plan (profile-guided, no training — planning noise would blur the
-// comparison) is evaluated with sim.PipelineStream and deployed over the
-// chosen transport, per admission window. With -trace the transport
-// charges the WiFi traces to every payload byte, so measured/predicted
-// should approach 1; without it the wire is free and the runtime runs
-// ahead of the prediction — the fidelity gap the shaped transport closes.
-func fidelity(b experiments.Budget, windows []int, transportSpec string, trace bool) error {
+// fidelity cross-checks the simulator against the real runtime: a fixed
+// plan is evaluated with sim.PipelineStream and deployed over the chosen
+// transport, per admission window. The default plan is the CoEdge baseline
+// (profile-guided, no training — planning noise would blur the
+// comparison); -objective latency|ips swaps in a planned strategy so the
+// objective planners themselves can be validated end-to-end. With -trace
+// the transport charges the WiFi traces to every payload byte, so
+// measured/predicted should approach 1; without it the wire is free and
+// the runtime runs ahead of the prediction — the fidelity gap the shaped
+// transport closes.
+func fidelity(b experiments.Budget, windows []int, transportSpec string, trace bool, objectiveSpec string, objWindow int) error {
 	mode := "free wire (localhost)"
 	if trace {
 		mode = "trace-shaped wire"
@@ -332,10 +358,29 @@ func fidelity(b experiments.Budget, windows []int, transportSpec string, trace b
 	if err != nil {
 		return err
 	}
-	plan, err := sys.Baseline("CoEdge")
+	var plan *distredge.Plan
+	var rtObj sim.Objective
+	if objectiveSpec == "" {
+		plan, err = sys.Baseline("CoEdge")
+	} else {
+		var objective distredge.Objective
+		objective, err = distredge.ParseObjective(objectiveSpec)
+		if err != nil {
+			return err
+		}
+		plan, err = sys.Plan(distredge.PlanConfig{
+			Effort:          distredge.EffortTiny,
+			Objective:       objective,
+			ObjectiveWindow: objWindow,
+		})
+		if err == nil {
+			rtObj, err = distredge.RuntimeObjective(objective, objWindow)
+		}
+	}
 	if err != nil {
 		return err
 	}
+	fmt.Printf("plan: %s\n", plan.Method)
 	const timeScale, bytesScale = 0.1, 0.001
 	const simImages, rtImages = 200, 16
 	fmt.Printf("%-9s %9s %9s | %12s %12s | %9s\n",
@@ -354,6 +399,7 @@ func fidelity(b experiments.Budget, windows []int, transportSpec string, trace b
 			BytesScale:        bytesScale,
 			HeartbeatInterval: -1, // charged links must not starve liveness
 			Transport:         tr,
+			Objective:         rtObj,
 		}
 		if trace {
 			opts.Transport = sys.ShapedTransport(tr, opts)

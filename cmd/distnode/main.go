@@ -37,6 +37,8 @@ func main() {
 	timescale := flag.Float64("timescale", 0.1, "compute emulation time scale (1.0 = full model latency)")
 	bytescale := flag.Float64("bytescale", 0.01, "payload byte scale (1.0 = full activation sizes)")
 	effort := flag.String("effort", "tiny", "planning effort: tiny|quick|full|paper")
+	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image) or ips (sustained pipelined throughput)")
+	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for")
 	seed := flag.Int64("seed", 1, "random seed")
 	recover := flag.Bool("recover", false, "survive provider deaths: quarantine, re-plan over survivors, re-scatter in-flight images")
 	killSpec := flag.String("kill", "", "chaos injection: comma-separated dev@seconds provider kills (wall clock after the run starts), e.g. 1@0.5")
@@ -49,11 +51,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	objective, err := distredge.ParseObjective(*objectiveSpec)
+	if err != nil {
+		fatal(err)
+	}
 	sys, err := distredge.New(*model, providers, distredge.WithSeed(*seed))
 	if err != nil {
 		fatal(err)
 	}
-	plan, err := sys.Plan(distredge.PlanConfig{Effort: distredge.Effort(*effort)})
+	plan, err := sys.Plan(distredge.PlanConfig{
+		Effort:          distredge.Effort(*effort),
+		Objective:       objective,
+		ObjectiveWindow: *objWindow,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -68,12 +78,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rtObj, err := distredge.RuntimeObjective(objective, *objWindow)
+	if err != nil {
+		fatal(err)
+	}
 	opts := runtime.Options{
 		TimeScale:         *timescale,
 		BytesScale:        *bytescale,
 		Recover:           *recover,
 		HeartbeatInterval: *heartbeat,
 		Transport:         tr,
+		Objective:         rtObj,
 	}
 	if *trace {
 		opts.Transport = sys.ShapedTransport(tr, opts)

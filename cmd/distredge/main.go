@@ -26,6 +26,8 @@ func main() {
 		"comma-separated type:bandwidthMbps provider list")
 	alpha := flag.Float64("alpha", 0.75, "LC-PSS alpha (transmission/ops trade-off)")
 	effort := flag.String("effort", "quick", "planning effort: tiny|quick|full|paper")
+	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image) or ips (sustained pipelined throughput)")
+	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for")
 	images := flag.Int("images", 500, "images to stream in the evaluation")
 	window := flag.Int("window", 1, "admission window: images kept in flight (1 = the paper's sequential protocol)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -56,6 +58,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	objective, err := distredge.ParseObjective(*objectiveSpec)
+	if err != nil {
+		fatal(err)
+	}
 	sys, err := distredge.New(*model, providers, distredge.WithSeed(*seed))
 	if err != nil {
 		fatal(err)
@@ -72,7 +78,12 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		plan, err = sys.Plan(distredge.PlanConfig{Alpha: *alpha, Effort: distredge.Effort(*effort)})
+		plan, err = sys.Plan(distredge.PlanConfig{
+			Alpha:           *alpha,
+			Effort:          distredge.Effort(*effort),
+			Objective:       objective,
+			ObjectiveWindow: *objWindow,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -95,8 +106,14 @@ func main() {
 	fmt.Printf("\n%-14s IPS=%7.2f  latency=%7.1fms  maxComp=%6.1fms  maxTrans=%6.1fms\n",
 		plan.Method, rep.IPS, rep.MeanLatMS, rep.MaxCompMS, rep.MaxTransMS)
 
-	if *window > 1 {
-		prep, err := sys.EvaluatePipelined(plan, *images, *window)
+	// An ips-planned strategy is meant to be served pipelined: report the
+	// pipelined evaluation at its objective window even without -window.
+	pipeWindow := *window
+	if pipeWindow <= 1 && objective == distredge.ObjectiveIPS {
+		pipeWindow = *objWindow
+	}
+	if pipeWindow > 1 {
+		prep, err := sys.EvaluatePipelined(plan, *images, pipeWindow)
 		if err != nil {
 			fatal(err)
 		}
@@ -134,7 +151,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale}
+		rtObj, err := distredge.RuntimeObjective(objective, *objWindow)
+		if err != nil {
+			fatal(err)
+		}
+		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale, Objective: rtObj}
 		if *trace {
 			opts.Transport = sys.ShapedTransport(tr, opts)
 		} else {

@@ -69,6 +69,21 @@ func (e Effort) budget() (experiments.Budget, error) {
 	}
 }
 
+// Objective selects what the planner optimises (see DESIGN.md "Planning
+// objectives").
+type Objective string
+
+// Planning objectives.
+const (
+	// ObjectiveLatency optimises sequential single-image end-to-end
+	// latency — the paper's Eq. 8 reward, and the default. Planning under
+	// it is bit-identical to the pre-objective planner at fixed seeds.
+	ObjectiveLatency Objective = "latency"
+	// ObjectiveIPS optimises sustained pipelined throughput: steady-state
+	// images/sec with PlanConfig.ObjectiveWindow images in flight.
+	ObjectiveIPS Objective = "ips"
+)
+
 // PlanConfig configures Plan.
 type PlanConfig struct {
 	// Alpha is the LC-PSS transmission/operations trade-off (paper default
@@ -76,6 +91,25 @@ type PlanConfig struct {
 	Alpha float64
 	// Effort selects the planning budget (default EffortQuick).
 	Effort Effort
+	// Objective selects the planning objective (default ObjectiveLatency).
+	Objective Objective
+	// ObjectiveWindow is the admission window ObjectiveIPS optimises for
+	// (default 4; ignored for ObjectiveLatency).
+	ObjectiveWindow int
+}
+
+// simObjective resolves the config into the simulator's objective value
+// (nil for the latency default, preserving the bit-identical default
+// planning path).
+func (c PlanConfig) simObjective() (sim.Objective, error) {
+	switch c.Objective {
+	case "", ObjectiveLatency:
+		return nil, nil
+	case ObjectiveIPS:
+		return sim.ThroughputObjective{Window: c.ObjectiveWindow}, nil
+	default:
+		return nil, fmt.Errorf("distredge: unknown objective %q (want latency|ips)", c.Objective)
+	}
 }
 
 // Option customises New.
@@ -148,8 +182,12 @@ type Plan struct {
 	Strategy *strategy.Strategy
 }
 
-// Plan runs the DistrEdge pipeline (LC-PSS + OSDS) and returns the chosen
-// strategy.
+// Plan runs the DistrEdge pipeline (LC-PSS + OSDS) for the configured
+// objective and returns the chosen strategy. The default latency objective
+// reproduces the paper's planner exactly; ObjectiveIPS trains the splitter
+// against steady-state pipelined throughput instead (and additionally
+// searches stage-friendly volume boundaries — see
+// experiments.PlanObjective).
 func (s *System) Plan(cfg PlanConfig) (*Plan, error) {
 	b, err := cfg.Effort.budget()
 	if err != nil {
@@ -160,11 +198,19 @@ func (s *System) Plan(cfg PlanConfig) (*Plan, error) {
 	if alpha == 0 {
 		alpha = 0.75
 	}
-	strat, err := experiments.PlanDistrEdge(s.env, b, alpha)
+	obj, err := cfg.simObjective()
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Method: experiments.MethodDistrEdge, Strategy: strat}, nil
+	strat, err := experiments.PlanObjective(s.env, b, alpha, obj)
+	if err != nil {
+		return nil, err
+	}
+	method := experiments.MethodDistrEdge
+	if obj != nil {
+		method = experiments.MethodDistrEdge + "-" + obj.Name()
+	}
+	return &Plan{Method: method, Strategy: strat}, nil
 }
 
 // Baselines lists the seven comparison methods of the paper (Section V-B).
@@ -237,6 +283,26 @@ func (s *System) EvaluatePipelined(p *Plan, images, window int) (PipelineReport,
 		MeanLatMS: res.MeanLatMS,
 		P95LatMS:  res.P95LatMS,
 	}, nil
+}
+
+// Score evaluates a plan under a planning objective on the simulator;
+// lower is better. The unit is seconds: end-to-end latency of one image
+// for ObjectiveLatency, steady-state seconds per image with `window`
+// images in flight for ObjectiveIPS (window 0 = the objective's default
+// of 4).
+func (s *System) Score(p *Plan, objective Objective, window int) (float64, error) {
+	obj, err := PlanConfig{Objective: objective, ObjectiveWindow: window}.simObjective()
+	if err != nil {
+		return 0, err
+	}
+	return sim.DefaultObjective(obj).Score(s.env, p.Strategy, 0)
+}
+
+// RuntimeObjective resolves an Objective into the runtime.Options.Objective
+// value, so a deployed cluster's recovery re-planner re-plans for the
+// objective being served (nil for the latency default).
+func RuntimeObjective(objective Objective, window int) (sim.Objective, error) {
+	return PlanConfig{Objective: objective, ObjectiveWindow: window}.simObjective()
 }
 
 // Deploy executes the plan on the real runtime with emulated compute (see

@@ -237,6 +237,9 @@ func (p *Provider) recvLoop() {
 		case ch := <-p.inbox:
 			p.rec.addReceived()
 			p.deliver(ch)
+			// Assembly only records arrival coordinates; the payload is
+			// dead once delivered and goes back to the transport's pool.
+			transport.RecyclePayload(p.tr, ch.Payload)
 		}
 	}
 }
@@ -312,10 +315,13 @@ func (p *Provider) computeLoop() {
 				Volume:  int32(st.Volume),
 				Lo:      int32(r.Lo),
 				Hi:      int32(r.Hi),
-				Payload: make([]byte, (r.Hi-r.Lo)*st.RowBytes),
+				Payload: transport.GetPayload(p.tr, (r.Hi-r.Lo)*st.RowBytes),
 			}
 			if r.Dest == p.plan.Index {
+				// Self-routes never touch the wire; recycle the payload
+				// directly once assembly has recorded it.
 				p.deliver(ch)
+				transport.RecyclePayload(p.tr, ch.Payload)
 				continue
 			}
 			select {

@@ -59,9 +59,16 @@ type Options struct {
 	// provider dead (default 6).
 	HeartbeatMisses int
 	// Replan picks the re-planner recovery uses; nil means
-	// splitter.BalancedReplan (profile-guided balanced cuts over the
-	// survivors, no training on the serving path).
+	// splitter.ObjectiveReplan(Objective) — profile-guided survivor
+	// layouts scored under the serving objective, no training on the
+	// serving path (the latency default is splitter.BalancedReplan
+	// exactly).
 	Replan sim.ReplanFunc
+	// Objective is the planning objective the serving strategy was
+	// produced with (nil = latency). Recovery's default re-planner
+	// re-plans for it, so a throughput-planned deployment recovers into
+	// a throughput-shaped layout. Ignored when Replan is set.
+	Objective sim.Objective
 
 	// Transport selects the wire stack the cluster deploys over: nil means
 	// localhost TCP with the binary chunk codec (the original runtime
@@ -93,7 +100,7 @@ func (o Options) withDefaults() Options {
 		o.HeartbeatMisses = 6
 	}
 	if o.Transport == nil {
-		o.Transport = transport.NewTCP(nil)
+		o.Transport = transport.NewPooledTCP(nil, nil)
 	}
 	return o
 }

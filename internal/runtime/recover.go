@@ -17,8 +17,10 @@ import (
 //     registrations of incomplete images are dropped and the gc watermark
 //     advances past them (their ids are dead: image ids are monotonic, so
 //     a late chunk from the old deployment can never resurrect them);
-//  3. re-plan — Options.Replan (default splitter.BalancedReplan) produces
-//     a strategy over the survivors, warm-started from the serving one;
+//  3. re-plan — Options.Replan (default splitter.ObjectiveReplan for
+//     Options.Objective, i.e. splitter.BalancedReplan under the latency
+//     default) produces a strategy over the survivors, warm-started from
+//     the serving one;
 //  4. redeploy — fresh providers for the survivors under a new epoch, so
 //     stale failure reports and heartbeats from the torn-down deployment
 //     are fenced off, and the failure state is re-armed.
@@ -101,10 +103,10 @@ func (c *Cluster) recover() (float64, error) {
 	}
 	c.resMu.Unlock()
 
-	// 3. Re-plan over the survivors.
+	// 3. Re-plan over the survivors, for the objective being served.
 	replan := c.opts.Replan
 	if replan == nil {
-		replan = splitter.BalancedReplan
+		replan = splitter.ObjectiveReplan(c.opts.Objective)
 	}
 	newStrat, err := replan(c.env, oldStrat, alive)
 	if err != nil {

@@ -203,6 +203,9 @@ func (c *Cluster) acceptResults() {
 					}
 					continue
 				}
+				// Result payloads are bookkeeping-only: recycle them once
+				// the pending set is updated below.
+				transport.RecyclePayload(c.tr, ch.Payload)
 				c.resMu.Lock()
 				if m, ok := c.pending[ch.Image]; ok {
 					delete(m, chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)})
@@ -277,7 +280,7 @@ func (c *Cluster) sendInput(img uint32) error {
 			Volume:  -1,
 			Lo:      int32(need.Lo),
 			Hi:      int32(need.Hi),
-			Payload: make([]byte, (need.Hi-need.Lo)*c.plan.InputRowBytes),
+			Payload: transport.GetPayload(c.tr, (need.Hi-need.Lo)*c.plan.InputRowBytes),
 		}
 		wg.Add(1)
 		go func(dest int, ch Chunk) {

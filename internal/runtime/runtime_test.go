@@ -40,13 +40,17 @@ func equalStrategy(env *sim.Env, boundaries []int) *strategy.Strategy {
 func testTransport() transport.Transport {
 	switch v := os.Getenv("DISTREDGE_TEST_TRANSPORT"); v {
 	case "", "inproc":
-		return transport.NewInproc()
+		// Pooled, like the serving defaults: the whole runtime suite (and
+		// the race job) then exercises payload buffer reuse.
+		return transport.NewPooledInproc(nil)
 	case "tcp":
-		return transport.NewTCP(nil)
+		return transport.NewPooledTCP(nil, nil)
 	case "tcp+gob":
 		return transport.NewTCP(transport.Gob())
+	case "tcp+deflate":
+		return transport.NewPooledTCP(transport.Deflate(), nil)
 	default:
-		panic(fmt.Sprintf("unknown DISTREDGE_TEST_TRANSPORT %q (want inproc|tcp|tcp+gob)", v))
+		panic(fmt.Sprintf("unknown DISTREDGE_TEST_TRANSPORT %q (want inproc|tcp|tcp+gob|tcp+deflate)", v))
 	}
 }
 

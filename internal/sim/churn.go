@@ -388,16 +388,11 @@ func (e *Env) ChurnStream(s *strategy.Strategy, images, window int, start float6
 		res.IPS = float64(res.Completed) / res.TotalSec
 	}
 	if nd := len(doneIDs); nd > 0 {
-		if half := nd / 2; half >= 1 && nd > half {
-			span := complete[doneIDs[nd-1]] - complete[doneIDs[half-1]]
-			if span > 0 {
-				res.SteadyIPS = float64(nd-half) / span
-			} else {
-				res.SteadyIPS = res.IPS
-			}
-		} else {
-			res.SteadyIPS = res.IPS
+		doneComplete := make([]float64, nd)
+		for i, id := range doneIDs {
+			doneComplete[i] = complete[id]
 		}
+		res.SteadyIPS = steadyIPS(doneComplete, res.IPS)
 		res.PerImageSec = make([]float64, nd)
 		for i, id := range doneIDs {
 			res.PerImageSec[i] = perImage[id]

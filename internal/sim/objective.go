@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"distredge/internal/strategy"
+)
+
+// Objective scores a strategy on an environment; lower is better. It is
+// the pluggable planning goal of the splitter stack: OSDS episode rewards,
+// best-strategy tracking, the warm-start families, the re-planners and the
+// experiment harnesses all evaluate strategies through an Objective, so
+// the same planner can optimise sequential single-image latency (the
+// paper's Eq. 8) or sustained pipelined throughput (the Fig. 16 regime).
+type Objective interface {
+	// Name identifies the objective ("latency", "ips") in CLI flags and
+	// result rows.
+	Name() string
+	// Score evaluates a full strategy starting at absolute trace time
+	// `at`. Lower is better; the unit is seconds (end-to-end latency for
+	// the latency objective, steady-state seconds per image for the
+	// throughput objective), so scores feed the same reward scaling.
+	Score(e *Env, s *strategy.Strategy, at float64) (float64, error)
+	// EpisodeScore is the cheap per-episode form used inside OSDS
+	// training. seqLatency is the episode's already-simulated sequential
+	// end-to-end latency: LatencyObjective returns it unchanged — no
+	// extra simulation, keeping training bit-identical to the
+	// pre-objective planner — while ThroughputObjective ignores it and
+	// replays the episode's strategy through PipelineStream.
+	EpisodeScore(e *Env, s *strategy.Strategy, at, seqLatency float64) (float64, error)
+}
+
+// DefaultObjective returns obj, or the latency objective when obj is nil —
+// the planner stack's backward-compatible default.
+func DefaultObjective(obj Objective) Objective {
+	if obj == nil {
+		return LatencyObjective{}
+	}
+	return obj
+}
+
+// IsLatencyObjective reports whether obj is the default sequential-latency
+// objective (nil counts). Callers use it to keep the default planning path
+// bit-identical to the pre-objective tree.
+func IsLatencyObjective(obj Objective) bool {
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(LatencyObjective)
+	return ok
+}
+
+// LatencyObjective scores a strategy by its sequential single-image
+// end-to-end latency — Env.Latency, the quantity the paper's OSDS reward
+// 1/T (Eq. 8) is built on. It is the default objective everywhere, and
+// planning under it is bit-identical to the pre-objective planner
+// (enforced by the golden equivalence tests).
+type LatencyObjective struct{}
+
+// Name returns "latency".
+func (LatencyObjective) Name() string { return "latency" }
+
+// Score returns the end-to-end latency of one image starting at `at`.
+func (LatencyObjective) Score(e *Env, s *strategy.Strategy, at float64) (float64, error) {
+	lat, _, err := e.Latency(s, at)
+	return lat, err
+}
+
+// EpisodeScore returns the episode's already-simulated latency unchanged.
+func (LatencyObjective) EpisodeScore(e *Env, s *strategy.Strategy, at, seqLatency float64) (float64, error) {
+	return seqLatency, nil
+}
+
+// ThroughputObjective scores a strategy by its sustained pipelined serving
+// rate: PipelineStream with Window images in flight, inverted to
+// steady-state seconds per image (1/SteadyIPS) so lower is better and the
+// scale stays comparable to latency scores. Evaluations go through the
+// environment's plan memo and device-latency cache, so scoring inside
+// OSDS training costs one short pipelined replay per episode.
+type ThroughputObjective struct {
+	// Window is the admission window the plan is optimised for
+	// (default 4).
+	Window int
+	// Images is the stream length per evaluation (default 4*Window+8 —
+	// long enough that the second-half SteadyIPS measures the filled
+	// pipeline, short enough for per-episode use).
+	Images int
+}
+
+func (o ThroughputObjective) withDefaults() ThroughputObjective {
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.Images <= 0 {
+		o.Images = 4*o.Window + 8
+	}
+	return o
+}
+
+// Name returns "ips".
+func (ThroughputObjective) Name() string { return "ips" }
+
+// Score returns steady-state seconds per image at the configured window.
+func (o ThroughputObjective) Score(e *Env, s *strategy.Strategy, at float64) (float64, error) {
+	o = o.withDefaults()
+	res, err := e.PipelineStream(s, o.Images, o.Window, at)
+	if err != nil {
+		return 0, err
+	}
+	if res.SteadyIPS <= 0 || math.IsInf(res.SteadyIPS, 0) || math.IsNaN(res.SteadyIPS) {
+		return 0, fmt.Errorf("sim: throughput objective: degenerate SteadyIPS %g", res.SteadyIPS)
+	}
+	return 1 / res.SteadyIPS, nil
+}
+
+// EpisodeScore ignores the sequential latency and evaluates the episode's
+// strategy pipelined — sustained throughput is what the agent is rewarded
+// for, not the latency of a lone image.
+func (o ThroughputObjective) EpisodeScore(e *Env, s *strategy.Strategy, at, seqLatency float64) (float64, error) {
+	return o.Score(e, s, at)
+}

@@ -269,16 +269,7 @@ func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start flo
 		PerImageSec: perImage,
 	}
 	res.IPS = float64(images) / res.TotalSec
-	if half := images / 2; half >= 1 && images > half {
-		span := complete[images-1] - complete[half-1]
-		if span > 0 {
-			res.SteadyIPS = float64(images-half) / span
-		} else {
-			res.SteadyIPS = res.IPS
-		}
-	} else {
-		res.SteadyIPS = res.IPS
-	}
+	res.SteadyIPS = steadyIPS(complete, res.IPS)
 
 	sorted := append([]float64(nil), perImage...)
 	sort.Float64s(sorted)
@@ -291,6 +282,24 @@ func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start flo
 	res.P95LatMS = quantile(sorted, 0.95) * 1e3
 	res.MaxLatMS = sorted[images-1] * 1e3
 	return res, nil
+}
+
+// steadyIPS returns the throughput over the second half of a completion
+// timeline (absolute completion times in admission order) — the sustained
+// rate once the pipeline has filled. When the half-point span is not
+// positive — a single-image stream, or every second-half image completing
+// at the identical timestamp, which a degenerate plan on a constant trace
+// can produce — it falls back to the overall rate instead of dividing by
+// zero (regression-tested by TestSteadyIPSZeroSpanFallsBackToIPS).
+func steadyIPS(complete []float64, ips float64) float64 {
+	n := len(complete)
+	if half := n / 2; half >= 1 && n > half {
+		span := complete[n-1] - complete[half-1]
+		if span > 0 {
+			return float64(n-half) / span
+		}
+	}
+	return ips
 }
 
 // quantile returns the q-quantile of a sorted slice (nearest-rank).

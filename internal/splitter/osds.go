@@ -51,6 +51,16 @@ type Config struct {
 	// UpdateEvery performs a gradient update every k environment steps
 	// (1 = the paper's per-step update).
 	UpdateEvery int
+
+	// Objective selects what the search optimises. Nil (or
+	// sim.LatencyObjective) trains on sequential end-to-end latency —
+	// the paper's 1/T reward, bit-identical to the pre-objective
+	// planner. sim.ThroughputObjective rewards steady-state pipelined
+	// seconds per image instead, adds a stage-layout warm-start family
+	// (volume v entirely on provider v mod n — the family Fig. 16 shows
+	// filled pipelines favour), and makes best-strategy tracking keep
+	// the highest-throughput strategy visited.
+	Objective sim.Objective
 }
 
 func (c Config) withDefaults() Config {
@@ -84,11 +94,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result summarises a search.
+// Result summarises a search. Scores are objective scores: end-to-end
+// seconds per image under the default latency objective, steady-state
+// seconds per image under the throughput objective — lower is better
+// either way.
 type Result struct {
 	Strategy    *strategy.Strategy
-	BestLatency float64   // best end-to-end seconds observed
-	Episodes    []float64 // per-episode end-to-end latency
+	BestLatency float64   // best objective score observed
+	Episodes    []float64 // per-episode objective score
 }
 
 // Trainer is a reusable OSDS trainer; keeping it alive enables the online
@@ -98,6 +111,7 @@ type Trainer struct {
 	env        *sim.Env
 	boundaries []int
 	cfg        Config
+	obj        sim.Objective
 	agent      *rl.Agent
 	rng        *rand.Rand
 	episode    int
@@ -140,6 +154,7 @@ func NewTrainer(env *sim.Env, boundaries []int, cfg Config) (*Trainer, error) {
 		env:        env,
 		boundaries: boundaries,
 		cfg:        cfg,
+		obj:        sim.DefaultObjective(cfg.Objective),
 		agent:      agent,
 		rng:        rand.New(rand.NewSource(cfg.Seed + 17)),
 		bestT:      math.Inf(1),
@@ -296,18 +311,29 @@ var climbDeltas = [...]int{-4, -1, 1, 4}
 // tried before DDPG exploration takes over.
 const numWarmCandidates = 4
 
+// stageWarmKind is the stage-pipelined warm candidate (volume v entirely
+// on provider v mod n), scheduled only under non-latency objectives: it is
+// the family filled admission windows favour (Fig. 16), and under the
+// default latency objective its absence keeps the schedule — and therefore
+// the whole search — bit-identical to the pre-objective planner.
+const stageWarmKind = numWarmCandidates
+
 // initWarmKind is the extra warm candidate fed from Config.InitSplits.
-const initWarmKind = numWarmCandidates
+const initWarmKind = numWarmCandidates + 1
 
 // warmSchedule lists the warm-start kind of each leading episode: the
-// InitSplits seed first (when provided), then the four heuristic families,
-// capped at half the episode budget. floorOne keeps at least one warm
-// episode for any positive budget (Finetune's behaviour).
+// InitSplits seed first (when provided), then the stage family under a
+// throughput-style objective, then the four heuristic families, capped at
+// half the episode budget. floorOne keeps at least one warm episode for
+// any positive budget (Finetune's behaviour).
 func warmSchedule(cfg Config, episodes int, floorOne bool) []int {
 	if !cfg.WarmStart {
 		return nil
 	}
 	kinds := []int{0, 1, 2, 3}
+	if !sim.IsLatencyObjective(cfg.Objective) {
+		kinds = append([]int{stageWarmKind}, kinds...)
+	}
 	if cfg.InitSplits != nil {
 		kinds = append([]int{initWarmKind}, kinds...)
 	}
@@ -391,7 +417,8 @@ func warmCuts(env *sim.Env, layers []cnn.Layer, h, kind int) []int {
 }
 
 // runEpisode plays one episode (Alg. 2 lines 6-23) and returns the
-// end-to-end latency. warmKind >= 0 selects a warm-start candidate family;
+// episode's objective score (end-to-end latency under the default
+// objective). warmKind >= 0 selects a warm-start candidate family;
 // otherwise actions follow the ε-schedule.
 func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *strategy.Strategy) {
 	numVol := len(t.boundaries) - 1
@@ -420,9 +447,12 @@ func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *s
 		switch {
 		case warmKind >= 0:
 			var cuts []int
-			if warmKind == initWarmKind {
+			switch warmKind {
+			case initWarmKind:
 				cuts = t.initCuts(vol, v, h)
-			} else {
+			case stageWarmKind:
+				cuts = strategy.AllOnProvider(h, t.env.NumProviders(), v%t.env.NumProviders())
+			default:
 				cuts = warmCuts(t.env, vol, h, warmKind)
 			}
 			raw = actionFromCuts(cuts, h)
@@ -452,19 +482,29 @@ func (t *Trainer) runEpisode(eps float64, warmKind int, train bool) (float64, *s
 	if err != nil || latency <= 0 {
 		return math.Inf(1), nil
 	}
-	// Rewards: 0 for intermediate steps, 1/T at the terminal step (Eq. 8),
-	// scaled so typical returns are O(1).
+	strat := &strategy.Strategy{Boundaries: t.boundaries, Splits: splits}
+	// The episode score is the objective's view of the strategy: the
+	// latency objective returns the already-simulated latency unchanged
+	// (so the default search performs exactly the pre-objective float
+	// sequence), while the throughput objective replays the strategy
+	// pipelined and returns steady seconds per image.
+	score, err := t.obj.EpisodeScore(t.env, strat, at, latency)
+	if err != nil || score <= 0 || math.IsInf(score, 0) {
+		return math.Inf(1), nil
+	}
+	// Rewards: 0 for intermediate steps, 1/T at the terminal step (Eq. 8,
+	// with T the objective score), scaled so typical returns are O(1).
 	for i, p := range trans {
 		r := 0.0
 		if p.done {
-			r = t.latScale / latency
+			r = t.latScale / score
 		}
 		t.agent.Buf.Add(rl.Transition{State: p.s, Action: p.a, Reward: r, NextState: p.s2, Done: p.done})
 		if train && (i+t.episode)%t.cfg.UpdateEvery == 0 {
 			t.agent.Update(t.cfg.Batch)
 		}
 	}
-	return latency, &strategy.Strategy{Boundaries: t.boundaries, Splits: splits}
+	return score, strat
 }
 
 // Run trains for the configured number of episodes, tracking the best

@@ -49,6 +49,67 @@ func BalancedReplan(env *sim.Env, old *strategy.Strategy, alive []bool) (*strate
 	return BalancedSubset(env, old.Boundaries, alive)
 }
 
+// StageSubset builds a stage-pipelined strategy over the given boundaries:
+// volume v runs entirely on the (v mod live)-th alive provider, so a
+// filled admission window pays only the slowest stage per image. Dead
+// providers get empty parts.
+func StageSubset(env *sim.Env, boundaries []int, alive []bool) (*strategy.Strategy, error) {
+	n := env.NumProviders()
+	if len(alive) != n {
+		return nil, fmt.Errorf("splitter: alive mask has %d entries for %d providers", len(alive), n)
+	}
+	var liveIdx []int
+	for i, a := range alive {
+		if a {
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	if len(liveIdx) == 0 {
+		return nil, fmt.Errorf("splitter: no alive providers to re-plan over")
+	}
+	s := &strategy.Strategy{Boundaries: append([]int(nil), boundaries...)}
+	for v := 0; v+1 < len(boundaries); v++ {
+		h := strategy.VolumeHeight(env.Model, boundaries, v)
+		s.Splits = append(s.Splits, strategy.AllOnProvider(h, n, liveIdx[v%len(liveIdx)]))
+	}
+	return s, nil
+}
+
+// ObjectiveReplan returns the sim.ReplanFunc recovery uses for the given
+// planning objective. The latency default is BalancedReplan unchanged; for
+// other objectives the balanced and stage survivor layouts are both built
+// and the one scoring better under the objective is served — so a cluster
+// that was serving a throughput-optimal plan recovers into a
+// throughput-optimal plan, not a latency-optimal one, while re-planning
+// stays training-free on the serving path.
+func ObjectiveReplan(obj sim.Objective) sim.ReplanFunc {
+	if sim.IsLatencyObjective(obj) {
+		return BalancedReplan
+	}
+	return func(env *sim.Env, old *strategy.Strategy, alive []bool) (*strategy.Strategy, error) {
+		bal, err := BalancedSubset(env, old.Boundaries, alive)
+		if err != nil {
+			return nil, err
+		}
+		stage, err := StageSubset(env, old.Boundaries, alive)
+		if err != nil {
+			return nil, err
+		}
+		balScore, err := obj.Score(env, bal, 0)
+		if err != nil {
+			return nil, err
+		}
+		stageScore, err := obj.Score(env, stage, 0)
+		if err != nil {
+			return nil, err
+		}
+		if stageScore < balScore {
+			return stage, nil
+		}
+		return bal, nil
+	}
+}
+
 // SearchReplan returns a sim.ReplanFunc that runs OSDS over the survivor
 // fleet, warm-started from the old strategy projected onto the survivors,
 // and lifts the result back to the full fleet (empty parts for dead

@@ -12,7 +12,7 @@ import (
 // gob in both ns/op and allocs/op (BENCH_baseline.json records the
 // snapshot).
 func BenchmarkChunkCodec(b *testing.B) {
-	for _, codec := range []Codec{Gob(), Binary()} {
+	for _, codec := range []Codec{Gob(), Binary(), Deflate()} {
 		for _, payload := range []int{1 << 10, 64 << 10, 1 << 20} {
 			b.Run(fmt.Sprintf("%s/%dKiB", codec.Name(), payload>>10), func(b *testing.B) {
 				var buf bytes.Buffer
@@ -38,74 +38,116 @@ func BenchmarkChunkCodec(b *testing.B) {
 
 // BenchmarkInprocRoundtrip measures a send+recv pair over the in-process
 // transport — the per-chunk overhead every inproc runtime test pays in
-// place of a socket write.
+// place of a socket write. "fresh" allocates a payload per send (the
+// pre-pooling serving path: the runtime makes one buffer per chunk);
+// "pooled" cycles buffers through the payload pool the way the runtime
+// now does, which is where the alloc drop shows.
 func BenchmarkInprocRoundtrip(b *testing.B) {
-	tr := NewInproc()
-	ln, err := tr.Listen(0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer ln.Close()
-	acceptedCh := make(chan Conn, 1)
-	go func() {
-		c, _ := ln.Accept()
-		acceptedCh <- c
-	}()
-	conn, err := tr.Dial(1, ln.Addr())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer conn.Close()
-	accepted := <-acceptedCh
-	msg := testMessage(64 << 10)
-	b.SetBytes(int64(len(msg.Payload)))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := conn.Send(msg); err != nil {
+	const payload = 64 << 10
+	run := func(b *testing.B, tr *Inproc, next func() []byte, recycle func([]byte)) {
+		ln, err := tr.Listen(0)
+		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := accepted.Recv(); err != nil {
+		defer ln.Close()
+		acceptedCh := make(chan Conn, 1)
+		go func() {
+			c, _ := ln.Accept()
+			acceptedCh <- c
+		}()
+		conn, err := tr.Dial(1, ln.Addr())
+		if err != nil {
 			b.Fatal(err)
 		}
+		defer conn.Close()
+		accepted := <-acceptedCh
+		msg := testMessage(0)
+		b.SetBytes(payload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg.Payload = next()
+			if err := conn.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			got, err := accepted.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			recycle(got.Payload)
+		}
 	}
+	b.Run("fresh", func(b *testing.B) {
+		run(b, NewInproc(),
+			func() []byte { return make([]byte, payload) },
+			func([]byte) {})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		tr := NewPooledInproc(nil)
+		run(b, tr,
+			func() []byte { return tr.GetPayload(payload) },
+			tr.PutPayload)
+	})
 }
 
 // BenchmarkTCPRoundtrip measures the same send+recv pair over a real
 // localhost socket with each codec, so the inproc and codec numbers have a
-// socket baseline to compare against.
+// socket baseline to compare against. The binary+pool variant cycles
+// payloads through the transport's pool (one GetPayload per send, one
+// PutPayload per receive) — the serving-path pattern — and must show the
+// per-chunk allocation disappearing.
 func BenchmarkTCPRoundtrip(b *testing.B) {
+	const payload = 64 << 10
+	run := func(b *testing.B, tr Transport, next func() []byte, recycle func([]byte)) {
+		ln, err := tr.Listen(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		acceptedCh := make(chan Conn, 1)
+		go func() {
+			c, _ := ln.Accept()
+			acceptedCh <- c
+		}()
+		conn, err := tr.Dial(1, ln.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		accepted := <-acceptedCh
+		msg := testMessage(0)
+		b.SetBytes(payload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg.Payload = next()
+			if err := conn.Send(msg); err != nil {
+				b.Fatal(err)
+			}
+			got, err := accepted.Recv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			recycle(got.Payload)
+		}
+	}
+	fixed := testMessage(payload).Payload
 	for _, codec := range []Codec{Gob(), Binary()} {
 		b.Run(codec.Name(), func(b *testing.B) {
-			tr := NewTCP(codec)
-			ln, err := tr.Listen(0)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer ln.Close()
-			acceptedCh := make(chan Conn, 1)
-			go func() {
-				c, _ := ln.Accept()
-				acceptedCh <- c
-			}()
-			conn, err := tr.Dial(1, ln.Addr())
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer conn.Close()
-			accepted := <-acceptedCh
-			msg := testMessage(64 << 10)
-			b.SetBytes(int64(len(msg.Payload)))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := conn.Send(msg); err != nil {
-					b.Fatal(err)
-				}
-				if _, err := accepted.Recv(); err != nil {
-					b.Fatal(err)
-				}
-			}
+			run(b, NewTCP(codec),
+				func() []byte { return fixed },
+				func([]byte) {})
 		})
 	}
+	b.Run("binary+pool", func(b *testing.B) {
+		tr := NewPooledTCP(nil, nil)
+		pp := tr.(PayloadPool)
+		run(b, tr,
+			func() []byte {
+				buf := pp.GetPayload(payload)
+				copy(buf, fixed)
+				return buf
+			},
+			pp.PutPayload)
+	})
 }

@@ -47,6 +47,10 @@ func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
 
 func (t *Chaos) Name() string { return "chaos+" + t.inner.Name() }
 
+// GetPayload / PutPayload forward payload pooling to the inner transport.
+func (t *Chaos) GetPayload(n int) []byte { return GetPayload(t.inner, n) }
+func (t *Chaos) PutPayload(b []byte)     { RecyclePayload(t.inner, b) }
+
 // Isolate partitions a device from everyone until Heal: every send to or
 // from it fails immediately — including on connections established before
 // the partition, heartbeats included — and new dials are refused. The

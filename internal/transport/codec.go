@@ -28,6 +28,13 @@ type Decoder interface {
 	Decode(m *Message) error
 }
 
+// pooledCodec is implemented by codecs whose decoders can draw payload
+// buffers from a transport's payload pool instead of allocating per
+// message. Gob stays outside: its decoder allocates internally.
+type pooledCodec interface {
+	NewPooledDecoder(r io.Reader, pool *Pool) Decoder
+}
+
 // ---------------------------------------------------------------------------
 // Gob: the legacy wire format — one gob stream per connection, every
 // message (data and control alike) gob-encoded. Retained as the
@@ -87,6 +94,10 @@ func (binaryCodec) NewDecoder(r io.Reader) Decoder {
 	return &binaryDecoder{r: r}
 }
 
+func (binaryCodec) NewPooledDecoder(r io.Reader, pool *Pool) Decoder {
+	return &binaryDecoder{r: r, pool: pool}
+}
+
 type binaryEncoder struct {
 	w    io.Writer
 	hdr  [chunkHeaderLen]byte
@@ -128,8 +139,9 @@ func (e *binaryEncoder) Encode(m *Message) error {
 }
 
 type binaryDecoder struct {
-	r   io.Reader
-	hdr [chunkHeaderLen]byte
+	r    io.Reader
+	hdr  [chunkHeaderLen]byte
+	pool *Pool // nil = allocate payload buffers per message
 }
 
 func (d *binaryDecoder) Decode(m *Message) error {
@@ -166,9 +178,12 @@ func (d *binaryDecoder) Decode(m *Message) error {
 			m.Payload = nil
 			return nil
 		}
-		if uint32(cap(m.Payload)) >= n {
+		switch {
+		case uint32(cap(m.Payload)) >= n:
 			m.Payload = m.Payload[:n]
-		} else {
+		case d.pool != nil:
+			m.Payload = d.pool.Get(int(n))
+		default:
 			m.Payload = make([]byte, n)
 		}
 		_, err := io.ReadFull(d.r, m.Payload)

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Deflate returns a codec that DEFLATE-compresses data-chunk payloads
+// behind the existing binary framing: the compressed bytes travel as an
+// ordinary binary chunk frame (the header's length field carries the
+// compressed size), so the wire format needs no new frame kind and
+// control messages pass through the gob path untouched. Activation rows
+// are float32 and compress well; on low-bandwidth shaped links the CPU
+// spent here buys back wire seconds — see DESIGN.md for when the trade
+// wins. The flate level is BestSpeed: the codec sits on the serving hot
+// path, where ratio beyond "good enough" is worth less than encode time.
+func Deflate() Codec { return deflateCodec{inner: Binary()} }
+
+type deflateCodec struct{ inner Codec }
+
+func (deflateCodec) Name() string { return "deflate" }
+
+func (c deflateCodec) NewEncoder(w io.Writer) Encoder {
+	return &deflateEncoder{inner: c.inner.NewEncoder(w)}
+}
+
+func (c deflateCodec) NewDecoder(r io.Reader) Decoder {
+	return &deflateDecoder{inner: c.inner.NewDecoder(r)}
+}
+
+func (c deflateCodec) NewPooledDecoder(r io.Reader, pool *Pool) Decoder {
+	var inner Decoder
+	if pc, ok := c.inner.(pooledCodec); ok {
+		inner = pc.NewPooledDecoder(r, pool)
+	} else {
+		inner = c.inner.NewDecoder(r)
+	}
+	return &deflateDecoder{inner: inner, pool: pool}
+}
+
+type deflateEncoder struct {
+	inner Encoder
+	fw    *flate.Writer
+	buf   bytes.Buffer
+}
+
+func (e *deflateEncoder) Encode(m *Message) error {
+	if m.control() || len(m.Payload) == 0 {
+		return e.inner.Encode(m)
+	}
+	e.buf.Reset()
+	if e.fw == nil {
+		w, err := flate.NewWriter(&e.buf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		e.fw = w
+	} else {
+		e.fw.Reset(&e.buf)
+	}
+	if _, err := e.fw.Write(m.Payload); err != nil {
+		return err
+	}
+	if err := e.fw.Close(); err != nil {
+		return err
+	}
+	// Frame a copy of the message so the caller's payload field — whose
+	// ownership the Send contract may hand to a pool — is never rewritten.
+	tmp := *m
+	tmp.Payload = e.buf.Bytes()
+	return e.inner.Encode(&tmp)
+}
+
+type deflateDecoder struct {
+	inner Decoder
+	fr    io.ReadCloser
+	br    bytes.Reader
+	out   bytes.Buffer
+	pool  *Pool
+}
+
+func (d *deflateDecoder) Decode(m *Message) error {
+	if err := d.inner.Decode(m); err != nil {
+		return err
+	}
+	if m.control() || len(m.Payload) == 0 {
+		return nil
+	}
+	compressed := m.Payload
+	d.br.Reset(compressed)
+	if d.fr == nil {
+		d.fr = flate.NewReader(&d.br)
+	} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return err
+	}
+	d.out.Reset()
+	if _, err := d.out.ReadFrom(d.fr); err != nil {
+		return fmt.Errorf("transport: deflate payload: %w", err)
+	}
+	buf := d.pool.Get(d.out.Len())
+	copy(buf, d.out.Bytes())
+	m.Payload = buf
+	// The compressed buffer came from the pool when the inner decoder is
+	// pooled; it is dead now that the payload is inflated.
+	d.pool.Put(compressed)
+	return nil
+}

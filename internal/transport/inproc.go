@@ -23,6 +23,7 @@ type Inproc struct {
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
 	next      int
+	pool      *Pool
 }
 
 // NewInproc returns a fresh in-process network namespace.
@@ -30,7 +31,24 @@ func NewInproc() *Inproc {
 	return &Inproc{listeners: make(map[string]*inprocListener)}
 }
 
+// NewPooledInproc is NewInproc with a payload pool. Messages still cross
+// by reference — the transport itself never copies — so pooling here is
+// purely the Get/Put cycle the runtime drives: a produced payload is
+// handed over on Send, consumed at the receiver, recycled with
+// PutPayload, and the next GetPayload returns the same buffer.
+func NewPooledInproc(pool *Pool) *Inproc {
+	if pool == nil {
+		pool = NewPool()
+	}
+	return &Inproc{listeners: make(map[string]*inprocListener), pool: pool}
+}
+
 func (t *Inproc) Name() string { return "inproc" }
+
+// GetPayload / PutPayload implement PayloadPool (plain allocation when the
+// namespace was built without a pool).
+func (t *Inproc) GetPayload(n int) []byte { return t.pool.Get(n) }
+func (t *Inproc) PutPayload(b []byte)     { t.pool.Put(b) }
 
 func (t *Inproc) Listen(self int) (Listener, error) {
 	t.mu.Lock()

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPoolSizeClasses pins the bucket arithmetic: a Get after a Put of the
+// same size class reuses the buffer, and a buffer never shrinks below the
+// requested length.
+func TestPoolSizeClasses(t *testing.T) {
+	p := NewPool()
+	b := p.Get(1000)
+	if len(b) != 1000 || cap(b) < 1000 {
+		t.Fatalf("Get(1000): len=%d cap=%d", len(b), cap(b))
+	}
+	p.Put(b)
+	b2 := p.Get(900) // same power-of-two class as 1000
+	if len(b2) != 900 {
+		t.Fatalf("Get(900): len=%d", len(b2))
+	}
+	if &b[0] != &b2[0] {
+		t.Error("same-class Get after Put did not reuse the buffer")
+	}
+	if got := p.Get(0); got != nil {
+		t.Errorf("Get(0) = %v, want nil", got)
+	}
+	p.Put(nil) // must not panic
+	var nilPool *Pool
+	if b := nilPool.Get(8); len(b) != 8 {
+		t.Errorf("nil pool Get(8): len=%d", len(b))
+	}
+	nilPool.Put(b2) // must not panic
+}
+
+// TestPooledTCPRoundtripContent streams messages of interleaved sizes and
+// distinct contents over a pooled TCP conn, recycling every received
+// payload: reuse must never corrupt a later message.
+func TestPooledTCPRoundtripContent(t *testing.T) {
+	for _, codec := range []Codec{nil, Deflate()} {
+		name := "binary"
+		if codec != nil {
+			name = codec.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			tr := NewPooledTCP(codec, nil)
+			pp := tr.(PayloadPool)
+			ln, err := tr.Listen(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			acceptedCh := make(chan Conn, 1)
+			go func() {
+				c, _ := ln.Accept()
+				acceptedCh <- c
+			}()
+			conn, err := tr.Dial(1, ln.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			accepted := <-acceptedCh
+
+			sizes := []int{1024, 64, 4096, 64, 1024, 0, 333}
+			for i, n := range sizes {
+				payload := pp.GetPayload(n)
+				for j := range payload {
+					payload[j] = byte(i*31 + j)
+				}
+				want := append([]byte(nil), payload...)
+				m := Message{Image: uint32(i), Volume: 2, Lo: 0, Hi: int32(n), Payload: payload}
+				if err := conn.Send(m); err != nil {
+					t.Fatal(err)
+				}
+				got, err := accepted.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Image != uint32(i) || !bytes.Equal(got.Payload, want) {
+					t.Fatalf("message %d corrupted: image=%d len=%d", i, got.Image, len(got.Payload))
+				}
+				pp.PutPayload(got.Payload)
+			}
+		})
+	}
+}
+
+// TestPooledInprocReusesBuffer pins the by-reference cycle: a payload sent
+// over pooled inproc, consumed and recycled is the very buffer the next
+// GetPayload returns.
+func TestPooledInprocReusesBuffer(t *testing.T) {
+	tr := NewPooledInproc(nil)
+	ln, err := tr.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptedCh := make(chan Conn, 1)
+	go func() {
+		c, _ := ln.Accept()
+		acceptedCh <- c
+	}()
+	conn, err := tr.Dial(1, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	accepted := <-acceptedCh
+
+	b := tr.GetPayload(512)
+	if err := conn.Send(Message{Image: 1, Volume: 0, Payload: b}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := accepted.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Payload[0] != &b[0] {
+		t.Fatal("inproc must hand the payload over by reference")
+	}
+	tr.PutPayload(got.Payload)
+	if b2 := tr.GetPayload(512); &b2[0] != &b[0] {
+		t.Error("recycled payload was not reused by the next GetPayload")
+	}
+}
+
+// TestDeflateCodecRoundtrip checks content fidelity through the
+// compressing codec: data chunks (compressible and empty), control
+// messages on the gob path, and a multi-message stream through one
+// stateful encoder/decoder pair.
+func TestDeflateCodecRoundtrip(t *testing.T) {
+	codec := Deflate()
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(&buf)
+	dec := codec.NewDecoder(&buf)
+	msgs := []Message{
+		testMessage(1024),
+		testMessage(0),
+		{Image: 3, Volume: -2, Lo: 7}, // control (heartbeat-shaped)
+		testMessage(1 << 16),
+	}
+	for i, m := range msgs {
+		if err := enc.Encode(&m); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		var out Message
+		if err := dec.Decode(&out); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if out.Image != m.Image || out.Volume != m.Volume || out.Lo != m.Lo || out.Hi != m.Hi {
+			t.Fatalf("message %d header mismatch: %+v != %+v", i, out, m)
+		}
+		if !bytes.Equal(out.Payload, m.Payload) {
+			t.Fatalf("message %d payload mismatch: %d vs %d bytes", i, len(out.Payload), len(m.Payload))
+		}
+	}
+}
+
+// TestDeflateCompresses pins that the wire actually shrinks for the
+// float-activation-shaped payloads the runtime ships — the whole point of
+// paying the CPU.
+func TestDeflateCompresses(t *testing.T) {
+	m := testMessage(64 << 10)
+	var plain, compressed bytes.Buffer
+	if err := Binary().NewEncoder(&plain).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Deflate().NewEncoder(&compressed).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len()/2 {
+		t.Errorf("deflate frame %dB not < half of plain %dB", compressed.Len(), plain.Len())
+	}
+}
+
+// TestDeflateCorruptPayloadErrors feeds a binary frame whose payload is
+// not a DEFLATE stream: Decode must fail cleanly, not panic or hang.
+func TestDeflateCorruptPayloadErrors(t *testing.T) {
+	var buf bytes.Buffer
+	m := testMessage(256) // raw bytes, never compressed
+	if err := Binary().NewEncoder(&buf).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := Deflate().NewDecoder(&buf).Decode(&out); err == nil {
+		t.Error("decoding a non-deflate payload must error")
+	}
+}
+
+// TestParsePooledTransportsImplementPayloadPool keeps the serving stacks'
+// pooling wired: every stack ParseTransport can build that is meant to
+// pool must implement the PayloadPool interface.
+func TestParsePooledTransportsImplementPayloadPool(t *testing.T) {
+	for _, tr := range []Transport{NewPooledTCP(nil, nil), NewPooledTCP(Deflate(), nil), NewPooledInproc(nil)} {
+		if _, ok := tr.(PayloadPool); !ok {
+			t.Errorf("%s does not implement PayloadPool", tr.Name())
+		}
+	}
+	// Decorators forward pooling to their inner transport.
+	shaped := Transport(NewShaped(NewPooledInproc(nil), nil, 1, 1, 0))
+	if _, ok := shaped.(PayloadPool); !ok {
+		t.Error("shaped decorator does not forward PayloadPool")
+	}
+	chaos := Transport(NewChaos(NewPooledInproc(nil), ChaosConfig{}))
+	if _, ok := chaos.(PayloadPool); !ok {
+		t.Error("chaos decorator does not forward PayloadPool")
+	}
+}

@@ -66,6 +66,10 @@ func NewShaped(inner Transport, net *network.Network, timeScale, bytesScale, sta
 
 func (t *Shaped) Name() string { return "shaped+" + t.inner.Name() }
 
+// GetPayload / PutPayload forward payload pooling to the inner transport.
+func (t *Shaped) GetPayload(n int) []byte { return GetPayload(t.inner, n) }
+func (t *Shaped) PutPayload(b []byte)     { RecyclePayload(t.inner, b) }
+
 // traceTime returns the current trace time in model seconds, anchoring
 // the wall clock at the first charged send.
 func (t *Shaped) traceTime() float64 {

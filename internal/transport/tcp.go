@@ -8,14 +8,15 @@ import (
 
 // tcpTransport carries messages over localhost TCP sockets — the original
 // runtime wire stack, now behind the Transport interface with the codec
-// made pluggable.
+// made pluggable and an optional payload pool (nil = plain allocation).
 type tcpTransport struct {
 	codec Codec
+	pool  *Pool
 }
 
 // NewTCP returns the localhost TCP transport using the given codec
 // (nil = Binary, the length-prefixed chunk codec; use Gob for the legacy
-// wire format).
+// wire format). No payload pooling; see NewPooledTCP.
 func NewTCP(codec Codec) Transport {
 	if codec == nil {
 		codec = Binary()
@@ -23,14 +24,33 @@ func NewTCP(codec Codec) Transport {
 	return &tcpTransport{codec: codec}
 }
 
+// NewPooledTCP is NewTCP with payload pooling: sent data payloads are
+// recycled once serialised (the socket copy makes them dead the moment
+// Send returns), and received payloads are decoded into pooled buffers the
+// consumer hands back with PutPayload. pool nil allocates a private pool.
+func NewPooledTCP(codec Codec, pool *Pool) Transport {
+	if codec == nil {
+		codec = Binary()
+	}
+	if pool == nil {
+		pool = NewPool()
+	}
+	return &tcpTransport{codec: codec, pool: pool}
+}
+
 func (t *tcpTransport) Name() string { return "tcp+" + t.codec.Name() }
+
+// GetPayload / PutPayload implement PayloadPool (plain allocation when the
+// transport was built without a pool).
+func (t *tcpTransport) GetPayload(n int) []byte { return t.pool.Get(n) }
+func (t *tcpTransport) PutPayload(b []byte)     { t.pool.Put(b) }
 
 func (t *tcpTransport) Listen(self int) (Listener, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{ln: ln, codec: t.codec}, nil
+	return &tcpListener{ln: ln, codec: t.codec, pool: t.pool}, nil
 }
 
 func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
@@ -38,7 +58,7 @@ func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c, t.codec), nil
+	return newTCPConn(c, t.codec, t.pool), nil
 }
 
 // tcpListener tracks accepted connections so Close tears them down with the
@@ -47,6 +67,7 @@ func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
 type tcpListener struct {
 	ln    net.Listener
 	codec Codec
+	pool  *Pool
 
 	mu       sync.Mutex
 	accepted []*tcpConn
@@ -58,7 +79,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	tc := newTCPConn(c, l.codec)
+	tc := newTCPConn(c, l.codec, l.pool)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -95,7 +116,8 @@ func (l *tcpListener) Close() error {
 // separately, and coalescing them into one flush halves the syscalls on
 // the hot path.
 type tcpConn struct {
-	c net.Conn
+	c    net.Conn
+	pool *Pool
 
 	sendMu sync.Mutex
 	bw     *bufio.Writer
@@ -105,23 +127,40 @@ type tcpConn struct {
 	dec    Decoder
 }
 
-func newTCPConn(c net.Conn, codec Codec) *tcpConn {
+func newTCPConn(c net.Conn, codec Codec, pool *Pool) *tcpConn {
 	bw := bufio.NewWriter(c)
+	br := bufio.NewReader(c)
+	var dec Decoder
+	if pc, ok := codec.(pooledCodec); ok && pool != nil {
+		dec = pc.NewPooledDecoder(br, pool)
+	} else {
+		dec = codec.NewDecoder(br)
+	}
 	return &tcpConn{
-		c:   c,
-		bw:  bw,
-		enc: codec.NewEncoder(bw),
-		dec: codec.NewDecoder(bufio.NewReader(c)),
+		c:    c,
+		pool: pool,
+		bw:   bw,
+		enc:  codec.NewEncoder(bw),
+		dec:  dec,
 	}
 }
 
 func (c *tcpConn) Send(m Message) error {
+	// The payload is captured before Encode (codecs may rewrite the
+	// message's payload field while framing) and recycled after the
+	// flush: the socket write copied it, so ownership — transferred to
+	// the transport by the Send contract — ends here.
+	payload := m.Payload
 	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
-	if err := c.enc.Encode(&m); err != nil {
-		return err
+	err := c.enc.Encode(&m)
+	if err == nil {
+		err = c.bw.Flush()
 	}
-	return c.bw.Flush()
+	c.sendMu.Unlock()
+	if c.pool != nil && !m.control() {
+		c.pool.Put(payload)
+	}
+	return err
 }
 
 func (c *tcpConn) Recv() (Message, error) {

@@ -112,25 +112,46 @@ func ParseChurn(spec string) ([]ChurnEvent, error) {
 	return out, nil
 }
 
+// ParseObjective parses the command-line -objective flag shared by the
+// planning commands: "latency" (or empty, the default) plans for
+// sequential single-image latency, "ips" for sustained pipelined
+// throughput.
+func ParseObjective(spec string) (Objective, error) {
+	switch strings.TrimSpace(spec) {
+	case "", string(ObjectiveLatency):
+		return ObjectiveLatency, nil
+	case string(ObjectiveIPS):
+		return ObjectiveIPS, nil
+	default:
+		return "", fmt.Errorf("distredge: unknown objective %q (want latency|ips)", spec)
+	}
+}
+
 // ParseTransport builds the wire stack named by the command-line
 // -transport flag:
 //
-//	tcp      — localhost TCP sockets, binary chunk codec (the default)
-//	tcp+gob  — localhost TCP sockets, legacy gob wire format
-//	inproc   — in-process channels, no sockets (fast, race-clean)
+//	tcp         — localhost TCP sockets, binary chunk codec (the default)
+//	tcp+gob     — localhost TCP sockets, legacy gob wire format
+//	tcp+deflate — tcp with DEFLATE-compressed chunk payloads (worth the
+//	              CPU on low-bandwidth shaped links; see DESIGN.md)
+//	inproc      — in-process channels, no sockets (fast, race-clean)
 //
-// Wrap the result with System.ShapedTransport to charge the system's WiFi
-// trace latency to every payload byte (the -trace flag).
+// The serving stacks (tcp, tcp+deflate, inproc) carry a payload pool so
+// chunk buffers are recycled across images. Wrap the result with
+// System.ShapedTransport to charge the system's WiFi trace latency to
+// every payload byte (the -trace flag).
 func ParseTransport(spec string) (transport.Transport, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "tcp":
-		return transport.NewTCP(nil), nil
+		return transport.NewPooledTCP(nil, nil), nil
 	case "tcp+gob":
 		return transport.NewTCP(transport.Gob()), nil
+	case "tcp+deflate":
+		return transport.NewPooledTCP(transport.Deflate(), nil), nil
 	case "inproc":
-		return transport.NewInproc(), nil
+		return transport.NewPooledInproc(nil), nil
 	default:
-		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|inproc)", spec)
+		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|tcp+deflate|inproc)", spec)
 	}
 }
 

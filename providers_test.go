@@ -105,10 +105,11 @@ func TestParseChurnErrors(t *testing.T) {
 
 func TestParseTransport(t *testing.T) {
 	for spec, wantName := range map[string]string{
-		"":        "tcp+binary",
-		"tcp":     "tcp+binary",
-		"tcp+gob": "tcp+gob",
-		"inproc":  "inproc",
+		"":            "tcp+binary",
+		"tcp":         "tcp+binary",
+		"tcp+gob":     "tcp+gob",
+		"tcp+deflate": "tcp+deflate",
+		"inproc":      "inproc",
 	} {
 		tr, err := ParseTransport(spec)
 		if err != nil {
@@ -121,5 +122,25 @@ func TestParseTransport(t *testing.T) {
 	}
 	if _, err := ParseTransport("carrier-pigeon"); err == nil || !strings.Contains(err.Error(), "unknown transport") {
 		t.Errorf("unknown transport = %v, want error", err)
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for spec, want := range map[string]Objective{
+		"":        ObjectiveLatency,
+		"latency": ObjectiveLatency,
+		" ips ":   ObjectiveIPS,
+	} {
+		got, err := ParseObjective(spec)
+		if err != nil {
+			t.Errorf("ParseObjective(%q): %v", spec, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseObjective(%q) = %q, want %q", spec, got, want)
+		}
+	}
+	if _, err := ParseObjective("goodput"); err == nil || !strings.Contains(err.Error(), "unknown objective") {
+		t.Errorf("unknown objective = %v, want error", err)
 	}
 }
