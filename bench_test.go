@@ -314,6 +314,25 @@ func BenchmarkPipelineStream(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineStreamBatched is BenchmarkPipelineStream with a
+// step-batching cap of 4: the same 500-image window-4 replay through the
+// batch-aware engine. It tracks both the engine's own overhead (the
+// stepRuns bookkeeping must stay cheap) and the predicted serving-rate
+// headline the batched runtime is validated against.
+func BenchmarkPipelineStreamBatched(b *testing.B) {
+	env := benchEnv()
+	s := benchStrategy(env)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.PipelineStreamOpts(s, sim.PipelineConfig{Images: 500, Window: 4, Batch: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPS, "IPS")
+	}
+}
+
 // BenchmarkLCPSS measures a full partition search on VGG-16.
 func BenchmarkLCPSS(b *testing.B) {
 	m := cnn.VGG16()

@@ -1,15 +1,17 @@
 // Command distbench reproduces the paper's evaluation: one sub-report per
 // table/figure (Fig. 4-15), printed as aligned text tables. The extra
-// "fidelity" report cross-checks the simulator against the real runtime:
-// it deploys the same plan over the -transport wire stack (shaped with the
-// WiFi traces under -trace) and prints predicted vs measured IPS per
-// admission window.
+// "fidelity" report cross-checks the simulator against the real runtime
+// over a {batch} x {codec} x {wire regime} grid: each cell deploys the
+// same plan with that step-batching cap over a TCP stack with that codec
+// — on the free localhost wire and again trace-shaped with post-codec
+// byte charging — and prints predicted vs measured IPS.
 //
 // Usage:
 //
 //	distbench -fig all -budget quick
 //	distbench -fig 7 -budget full
-//	distbench -fig fidelity -trace -windows 1,4
+//	distbench -fig fidelity -batches 1,4 -codecs binary,quant
+//	distbench -fig fidelity -trace
 //
 // Budgets: tiny (seconds), quick (default, ~minutes), full (tens of
 // minutes), paper (the paper's Max_ep=4000 configuration; hours).
@@ -30,6 +32,7 @@ import (
 	"distredge/internal/plot"
 	"distredge/internal/runtime"
 	"distredge/internal/sim"
+	"distredge/internal/transport"
 )
 
 func main() {
@@ -40,8 +43,9 @@ func main() {
 	parallel := flag.Int("parallel", 1, "workers for the case×method grids (results are identical for any value; -1 = one per CPU)")
 	windows := flag.String("windows", "1,2,4,8", "admission-window sizes for the fig 16 and churn sweeps")
 	fracs := flag.String("failfracs", "0.25,0.5,0.75", "failure times for the churn sweep, as fractions of the churn-free run")
-	transportSpec := flag.String("transport", "inproc", "for -fig fidelity: runtime wire stack tcp|tcp+gob|tcp+deflate|inproc")
-	trace := flag.Bool("trace", false, "for -fig fidelity: shape the transport with the WiFi traces")
+	batchesSpec := flag.String("batches", "1,4", "for -fig fidelity: step-batching caps of the grid")
+	codecsSpec := flag.String("codecs", "binary,quant,quant+deflate", "for -fig fidelity: chunk codecs of the grid (binary|deflate|quant|quant16|quant+deflate)")
+	trace := flag.Bool("trace", false, "for -fig fidelity: only the trace-shaped wire regime (skip the free-wire rows)")
 	objectiveSpec := flag.String("objective", "", "for -fig fidelity: deploy a strategy planned with this objective (latency|ips) instead of the CoEdge baseline")
 	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for (-fig objective and -objective ips)")
 	flag.Parse()
@@ -73,6 +77,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -failfracs %q: %v\n", *fracs, err)
 		os.Exit(2)
 	}
+	batches, err := parseWindows(*batchesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -batches %q: %v\n", *batchesSpec, err)
+		os.Exit(2)
+	}
+	codecs, err := parseCodecs(*codecsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -codecs %q: %v\n", *codecsSpec, err)
+		os.Exit(2)
+	}
 
 	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective"}
 	if *fig != "all" {
@@ -81,7 +95,7 @@ func main() {
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps, winSizes, failFracs, *transportSpec, *trace, *objectiveSpec, *objWindow); err != nil {
+		if err := run(f, b, *reps, winSizes, failFracs, batches, codecs, *trace, *objectiveSpec, *objWindow); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -133,9 +147,37 @@ func parseWindows(spec string) ([]int, error) {
 	return out, nil
 }
 
-func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, transportSpec string, trace bool, objectiveSpec string, objWindow int) error {
+// parseCodecs validates the fidelity grid's codec axis: each name maps to
+// a pooled TCP stack ("binary" to plain tcp, anything else to
+// "tcp+"+name), so the set of legal names is exactly ParseTransport's.
+func parseCodecs(spec string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err := distredge.ParseTransport(codecTransportSpec(part)); err != nil {
+			return nil, fmt.Errorf("codec %q: %v", part, err)
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no codecs")
+	}
+	return out, nil
+}
+
+func codecTransportSpec(codec string) string {
+	if codec == "binary" {
+		return "tcp"
+	}
+	return "tcp+" + codec
+}
+
+func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, batches []int, codecs []string, trace bool, objectiveSpec string, objWindow int) error {
 	if fig == "fidelity" {
-		return fidelity(b, windows, transportSpec, trace, objectiveSpec, objWindow)
+		return fidelity(b, batches, codecs, trace, objectiveSpec, objWindow)
 	}
 	if fig == "objective" {
 		header("Objective — latency-optimal vs throughput-optimal (IPS) planner")
@@ -330,22 +372,24 @@ func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []
 	return nil
 }
 
-// fidelity cross-checks the simulator against the real runtime: a fixed
-// plan is evaluated with sim.PipelineStream and deployed over the chosen
-// transport, per admission window. The default plan is the CoEdge baseline
+// fidelity cross-checks the simulator against the real runtime over a
+// {batch} x {codec} x {wire regime} grid: a fixed plan is evaluated with
+// sim.PipelineStreamOpts (matching batch cap, matching codec wire
+// fraction) and deployed with that runtime.Options.Batch over a pooled
+// TCP stack carrying that codec. The default plan is the CoEdge baseline
 // (profile-guided, no training — planning noise would blur the
 // comparison); -objective latency|ips swaps in a planned strategy so the
-// objective planners themselves can be validated end-to-end. With -trace
-// the transport charges the WiFi traces to every payload byte, so
-// measured/predicted should approach 1; without it the wire is free and
-// the runtime runs ahead of the prediction — the fidelity gap the shaped
-// transport closes.
-func fidelity(b experiments.Budget, windows []int, transportSpec string, trace bool, objectiveSpec string, objWindow int) error {
-	mode := "free wire (localhost)"
-	if trace {
-		mode = "trace-shaped wire"
-	}
-	header(fmt.Sprintf("Fidelity — sim prediction vs runtime measurement, %s", mode))
+// objective planners themselves can be validated end-to-end.
+//
+// In the free regime the wire is localhost and the runtime runs ahead of
+// the trace-based prediction (the prediction uses raw bytes: the codec
+// cannot change a wire that is not charged). In the trace-shaped regime
+// the transport charges the WiFi traces with post-codec byte accounting,
+// so quantizing codecs shorten the charged wire exactly as the
+// simulator's wire fraction predicts and measured/predicted should
+// approach 1.
+func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bool, objectiveSpec string, objWindow int) error {
+	header("Fidelity — sim prediction vs runtime measurement, {batch} x {codec} x {wire}")
 	// Low-bandwidth links make the prediction transfer-dominated, which is
 	// the term the transport choice actually controls; emulated-compute
 	// overhead (a couple of ms per sleep at small time scales) then stays
@@ -359,11 +403,10 @@ func fidelity(b experiments.Budget, windows []int, transportSpec string, trace b
 		return err
 	}
 	var plan *distredge.Plan
-	var rtObj sim.Objective
+	var objective distredge.Objective
 	if objectiveSpec == "" {
 		plan, err = sys.Baseline("CoEdge")
 	} else {
-		var objective distredge.Objective
 		objective, err = distredge.ParseObjective(objectiveSpec)
 		if err != nil {
 			return err
@@ -373,50 +416,87 @@ func fidelity(b experiments.Budget, windows []int, transportSpec string, trace b
 			Objective:       objective,
 			ObjectiveWindow: objWindow,
 		})
-		if err == nil {
-			rtObj, err = distredge.RuntimeObjective(objective, objWindow)
-		}
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan: %s\n", plan.Method)
+	// One window for the whole grid, wide enough that every batch cap can
+	// actually fill: batching coalesces queued images, so the window must
+	// admit at least a batch's worth.
+	window := 4
+	for _, k := range batches {
+		if k > window {
+			window = k
+		}
+	}
+	fmt.Printf("plan: %s  window: %d\n", plan.Method, window)
 	const timeScale, bytesScale = 0.1, 0.001
 	const simImages, rtImages = 200, 16
-	fmt.Printf("%-9s %9s %9s | %12s %12s | %9s\n",
-		"window", "sim IPS", "lat(ms)", "runtime IPS", "lat(ms)", "meas/pred")
-	for _, w := range windows {
-		prep, err := sys.EvaluatePipelined(plan, simImages, w)
-		if err != nil {
-			return err
+	regimes := []bool{false, true} // shaped?
+	if traceOnly {
+		regimes = []bool{true}
+	}
+	fmt.Printf("%-7s %6s %-14s %9s %9s | %12s %12s | %9s\n",
+		"wire", "batch", "codec", "sim IPS", "lat(ms)", "runtime IPS", "lat(ms)", "meas/pred")
+	for _, shaped := range regimes {
+		regime := "free"
+		if shaped {
+			regime = "shaped"
 		}
-		tr, err := distredge.ParseTransport(transportSpec)
-		if err != nil {
-			return err
+		for _, k := range batches {
+			for _, codec := range codecs {
+				tr, err := distredge.ParseTransport(codecTransportSpec(codec))
+				if err != nil {
+					return err
+				}
+				// The prediction charges the codec's post-codec wire
+				// fraction only when the runtime's wire does too.
+				wireFrac := 1.0
+				if shaped {
+					if wc, ok := tr.(transport.WireCodec); ok {
+						wireFrac = transport.WireFrac(wc.WireCodec())
+					}
+				}
+				prep, err := sys.EvaluatePipelinedOpts(plan, simImages, window, k, wireFrac)
+				if err != nil {
+					return err
+				}
+				var rtObj sim.Objective
+				if objectiveSpec != "" {
+					rtObj, err = distredge.RuntimeObjective(objective, objWindow, k)
+					if err != nil {
+						return err
+					}
+				}
+				opts := runtime.Options{
+					TimeScale:         timeScale,
+					BytesScale:        bytesScale,
+					Batch:             k,
+					HeartbeatInterval: -1, // charged links must not starve liveness
+					Transport:         tr,
+					Objective:         rtObj,
+				}
+				if shaped {
+					opts.Transport = sys.ShapedTransportPostCodec(tr, opts)
+				}
+				cluster, err := sys.Deploy(plan, opts)
+				if err != nil {
+					return err
+				}
+				stats, runErr := cluster.RunPipelined(rtImages, window)
+				cluster.Close()
+				if runErr != nil {
+					return runErr
+				}
+				modelIPS := stats.IPS * timeScale
+				modelLatMS := stats.MeanLatMS() / timeScale
+				fmt.Printf("%-7s %6d %-14s %9.2f %9.1f | %12.2f %12.1f | %9.2f\n",
+					regime, k, codec, prep.IPS, prep.MeanLatMS, modelIPS, modelLatMS, modelIPS/prep.IPS)
+			}
 		}
-		opts := runtime.Options{
-			TimeScale:         timeScale,
-			BytesScale:        bytesScale,
-			HeartbeatInterval: -1, // charged links must not starve liveness
-			Transport:         tr,
-			Objective:         rtObj,
+		if !shaped {
+			fmt.Println()
 		}
-		if trace {
-			opts.Transport = sys.ShapedTransport(tr, opts)
-		}
-		cluster, err := sys.Deploy(plan, opts)
-		if err != nil {
-			return err
-		}
-		stats, runErr := cluster.RunPipelined(rtImages, w)
-		cluster.Close()
-		if runErr != nil {
-			return runErr
-		}
-		modelIPS := stats.IPS * timeScale
-		modelLatMS := stats.MeanLatMS() / timeScale
-		fmt.Printf("%-9d %9.2f %9.1f | %12.2f %12.1f | %9.2f\n",
-			w, prep.IPS, prep.MeanLatMS, modelIPS, modelLatMS, modelIPS/prep.IPS)
 	}
 	fmt.Printf("(runtime numbers mapped to model scale: wall IPS x %g, wall latency / %g)\n", timeScale, timeScale)
 	return nil

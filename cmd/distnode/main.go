@@ -43,8 +43,10 @@ func main() {
 	recover := flag.Bool("recover", false, "survive provider deaths: quarantine, re-plan over survivors, re-scatter in-flight images")
 	killSpec := flag.String("kill", "", "chaos injection: comma-separated dev@seconds provider kills (wall clock after the run starts), e.g. 1@0.5")
 	heartbeat := flag.Duration("heartbeat", 0, "provider heartbeat period (0 = default 50ms, negative disables health tracking)")
-	transportSpec := flag.String("transport", "tcp", "wire stack: tcp|tcp+gob|inproc")
+	transportSpec := flag.String("transport", "tcp", "wire stack: tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc")
 	trace := flag.Bool("trace", false, "shape the transport with the planned WiFi traces (charge trace latency per payload byte)")
+	postCodec := flag.Bool("postcodec", false, "with -trace: charge the bytes the codec puts on the wire instead of the raw payload (quant/deflate then shorten the shaped wire)")
+	batch := flag.Int("batch", 1, "step-batching cap: up to this many queued same-step images share one compute invocation (1 = off)")
 	flag.Parse()
 
 	providers, err := distredge.ParseProviders(*provSpec)
@@ -78,7 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rtObj, err := distredge.RuntimeObjective(objective, *objWindow)
+	rtObj, err := distredge.RuntimeObjective(objective, *objWindow, *batch)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,9 +91,14 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		Transport:         tr,
 		Objective:         rtObj,
+		Batch:             *batch,
 	}
 	if *trace {
-		opts.Transport = sys.ShapedTransport(tr, opts)
+		if *postCodec {
+			opts.Transport = sys.ShapedTransportPostCodec(tr, opts)
+		} else {
+			opts.Transport = sys.ShapedTransport(tr, opts)
+		}
 	}
 	cluster, err := sys.Deploy(plan, opts)
 	if err != nil {

@@ -39,8 +39,9 @@ func main() {
 	churnSpec := flag.String("churn", "", "scripted fleet events, e.g. 'drop:1@2.5,slow:2x3@4,join:1@8' (see ParseChurn)")
 	noRecover := flag.Bool("norecover", false, "with -churn: disable re-planning, so a drop truncates the stream")
 	deploy := flag.Bool("deploy", false, "also deploy the plan on the real runtime and measure it")
-	transportSpec := flag.String("transport", "tcp", "with -deploy: wire stack tcp|tcp+gob|inproc")
+	transportSpec := flag.String("transport", "tcp", "with -deploy: wire stack tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc")
 	trace := flag.Bool("trace", false, "with -deploy: shape the transport with the planned WiFi traces")
+	batch := flag.Int("batch", 1, "with -deploy: step-batching cap — up to this many queued same-step images share one compute invocation (1 = off)")
 	timescale := flag.Float64("timescale", 0.05, "with -deploy: compute emulation time scale")
 	bytescale := flag.Float64("bytescale", 0.001, "with -deploy: payload byte scale")
 	flag.Parse()
@@ -151,11 +152,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rtObj, err := distredge.RuntimeObjective(objective, *objWindow)
+		rtObj, err := distredge.RuntimeObjective(objective, *objWindow, *batch)
 		if err != nil {
 			fatal(err)
 		}
-		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale, Objective: rtObj}
+		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale, Objective: rtObj, Batch: *batch}
 		if *trace {
 			opts.Transport = sys.ShapedTransport(tr, opts)
 		} else {

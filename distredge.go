@@ -96,6 +96,12 @@ type PlanConfig struct {
 	// ObjectiveWindow is the admission window ObjectiveIPS optimises for
 	// (default 4; ignored for ObjectiveLatency).
 	ObjectiveWindow int
+	// ObjectiveBatch is the step-batching cap ObjectiveIPS plans for
+	// (default 1 = no batching; ignored for ObjectiveLatency). Set it to
+	// the runtime.Options.Batch the plan will be served with, so the
+	// planner optimises for the throughput the batched pipeline actually
+	// delivers.
+	ObjectiveBatch int
 }
 
 // simObjective resolves the config into the simulator's objective value
@@ -106,7 +112,7 @@ func (c PlanConfig) simObjective() (sim.Objective, error) {
 	case "", ObjectiveLatency:
 		return nil, nil
 	case ObjectiveIPS:
-		return sim.ThroughputObjective{Window: c.ObjectiveWindow}, nil
+		return sim.ThroughputObjective{Window: c.ObjectiveWindow, Batch: c.ObjectiveBatch}, nil
 	default:
 		return nil, fmt.Errorf("distredge: unknown objective %q (want latency|ips)", c.Objective)
 	}
@@ -285,6 +291,30 @@ func (s *System) EvaluatePipelined(p *Plan, images, window int) (PipelineReport,
 	}, nil
 }
 
+// EvaluatePipelinedOpts is EvaluatePipelined with the pipelined
+// simulator's performance knobs exposed: batch is the step-batching cap
+// (up to `batch` queued same-step images share one compute invocation
+// under the runtime's amortised cost model; 0 or 1 = no batching,
+// bit-identical to EvaluatePipelined), and wireFrac scales every
+// transferred byte (transport.WireFrac of a quantizing codec; 0 or 1 =
+// raw bytes). It predicts what Deploy measures with the matching
+// runtime.Options.Batch and wire stack.
+func (s *System) EvaluatePipelinedOpts(p *Plan, images, window, batch int, wireFrac float64) (PipelineReport, error) {
+	res, err := s.env.PipelineStreamOpts(p.Strategy, sim.PipelineConfig{
+		Images: images, Window: window, Batch: batch, WireFrac: wireFrac,
+	})
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	return PipelineReport{
+		Window:    res.Window,
+		IPS:       res.IPS,
+		SteadyIPS: res.SteadyIPS,
+		MeanLatMS: res.MeanLatMS,
+		P95LatMS:  res.P95LatMS,
+	}, nil
+}
+
 // Score evaluates a plan under a planning objective on the simulator;
 // lower is better. The unit is seconds: end-to-end latency of one image
 // for ObjectiveLatency, steady-state seconds per image with `window`
@@ -300,9 +330,11 @@ func (s *System) Score(p *Plan, objective Objective, window int) (float64, error
 
 // RuntimeObjective resolves an Objective into the runtime.Options.Objective
 // value, so a deployed cluster's recovery re-planner re-plans for the
-// objective being served (nil for the latency default).
-func RuntimeObjective(objective Objective, window int) (sim.Objective, error) {
-	return PlanConfig{Objective: objective, ObjectiveWindow: window}.simObjective()
+// objective being served (nil for the latency default). Batch is the
+// step-batching cap the cluster serves with (0 or 1 = no batching), so a
+// recovery re-plan keeps optimising for the batched pipeline.
+func RuntimeObjective(objective Objective, window, batch int) (sim.Objective, error) {
+	return PlanConfig{Objective: objective, ObjectiveWindow: window, ObjectiveBatch: batch}.simObjective()
 }
 
 // Deploy executes the plan on the real runtime with emulated compute (see

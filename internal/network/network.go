@@ -133,10 +133,32 @@ func Dynamic(loMbps, hiMbps float64, minutes int, seed int64) *Trace {
 // I/O character. IOFixedMS is the fixed cost of moving a buffer between the
 // computing unit and the network stack (GPU readback, socket syscalls);
 // IOGBps is the sustained I/O copy bandwidth.
+//
+// Trace is the device's uplink (device → router). Down, when set, is a
+// separate downlink trace (router → device) — real WiFi and cellular
+// uplinks are routinely several times slower than downlinks, and modelling
+// both directions with the uplink trace overcharges every receive. A nil
+// Down keeps the link symmetric (downlink = Trace), which is bit-identical
+// to the pre-asymmetry model.
 type Link struct {
 	Trace     *Trace
+	Down      *Trace
 	IOFixedMS float64
 	IOGBps    float64
+}
+
+// downTrace returns the trace governing traffic towards this device.
+func (l Link) downTrace() *Trace {
+	if l.Down != nil {
+		return l.Down
+	}
+	return l.Trace
+}
+
+// TimeInvariant reports whether both directions of the link are constant
+// over time.
+func (l Link) TimeInvariant() bool {
+	return l.Trace.TimeInvariant() && l.downTrace().TimeInvariant()
 }
 
 // DefaultLink wraps a trace with the calibrated I/O character used in all
@@ -182,11 +204,11 @@ func NewStable(bandwidthsMbps []float64, minutes int, seed int64) *Network {
 // time, i.e. transfer latencies do not depend on when a transfer starts.
 // Simulators use this to take the steady-state streaming fast path.
 func (n *Network) TimeInvariant() bool {
-	if !n.Requester.Trace.TimeInvariant() {
+	if !n.Requester.TimeInvariant() {
 		return false
 	}
 	for _, l := range n.Providers {
-		if !l.Trace.TimeInvariant() {
+		if !l.TimeInvariant() {
 			return false
 		}
 	}
@@ -205,7 +227,9 @@ func (n *Network) link(dev int) (Link, error) {
 }
 
 // PairThroughput returns the bits/second available between two devices at
-// time t: both transfers cross the router, so the minimum of the two links.
+// time t: both transfers cross the router, so the minimum of the sender's
+// uplink and the receiver's downlink (which is the uplink trace again for
+// symmetric links — the default).
 func (n *Network) PairThroughput(from, to int, t float64) float64 {
 	lf, errF := n.link(from)
 	lt, errT := n.link(to)
@@ -213,7 +237,7 @@ func (n *Network) PairThroughput(from, to int, t float64) float64 {
 		return 0
 	}
 	a := lf.Trace.ThroughputAt(t)
-	b := lt.Trace.ThroughputAt(t)
+	b := lt.downTrace().ThroughputAt(t)
 	if b < a {
 		return b
 	}

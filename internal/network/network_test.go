@@ -203,3 +203,73 @@ func TestTimeInvariant(t *testing.T) {
 		t.Error("network with a jittery link must not be time-invariant")
 	}
 }
+
+// newAsymNetwork gives provider 0 a slow 10 Mbps uplink and fast 100 Mbps
+// downlink; provider 1 and the requester stay symmetric at 100 Mbps.
+func newAsymNetwork() *Network {
+	n := &Network{
+		Providers: []Link{
+			DefaultLink(Constant(10)),
+			DefaultLink(Constant(100)),
+		},
+		Requester: DefaultLink(Constant(100)),
+	}
+	n.Providers[0].Down = Constant(100)
+	return n
+}
+
+func TestAsymmetricPairThroughput(t *testing.T) {
+	n := newAsymNetwork()
+	// Towards provider 0: sender uplink 100, receiver downlink 100.
+	if got := n.PairThroughput(1, 0, 0); got != 100e6 {
+		t.Errorf("pair(1,0) = %g, want 1e8 (fast downlink)", got)
+	}
+	// From provider 0: its 10 Mbps uplink is the bottleneck.
+	if got := n.PairThroughput(0, 1, 0); got != 10e6 {
+		t.Errorf("pair(0,1) = %g, want 1e7 (slow uplink)", got)
+	}
+}
+
+func TestAsymmetricTransferLatencyIsDirectional(t *testing.T) {
+	n := newAsymNetwork()
+	bytes := 1e6
+	up := n.TransferLatency(0, Requester, bytes, 0)
+	down := n.TransferLatency(Requester, 0, bytes, 0)
+	if up <= down {
+		t.Errorf("uplink transfer %gs not slower than downlink %gs", up, down)
+	}
+	// Wire component: 8e6/1e7 = 0.8s up vs 8e6/1e8 = 0.08s down; I/O adds
+	// 0.0025s per side either way.
+	if math.Abs(up-(0.005+0.8)) > 1e-9 || math.Abs(down-(0.005+0.08)) > 1e-9 {
+		t.Errorf("latencies %g / %g do not match the directional model", up, down)
+	}
+}
+
+func TestAsymmetricDefaultsStaySymmetric(t *testing.T) {
+	// A nil Down must be bit-identical to the pre-asymmetry model in both
+	// directions.
+	sym := newTestNetwork()
+	for _, pair := range [][2]int{{0, 1}, {1, 0}, {Requester, 0}, {0, Requester}} {
+		a := sym.TransferLatency(pair[0], pair[1], 123_456, 0)
+		b := sym.TransferLatency(pair[1], pair[0], 123_456, 0)
+		if a != b {
+			t.Errorf("symmetric network: latency(%d,%d)=%g != latency(%d,%d)=%g",
+				pair[0], pair[1], a, pair[1], pair[0], b)
+		}
+	}
+}
+
+func TestAsymmetricTimeInvariant(t *testing.T) {
+	l := DefaultLink(Constant(50))
+	if !l.TimeInvariant() {
+		t.Error("symmetric constant link must be time-invariant")
+	}
+	l.Down = Stable(100, 5, 3)
+	if l.TimeInvariant() {
+		t.Error("jittery downlink must break time invariance")
+	}
+	n := &Network{Requester: DefaultLink(Constant(200)), Providers: []Link{l}}
+	if n.TimeInvariant() {
+		t.Error("network with a jittery downlink must not be time-invariant")
+	}
+}

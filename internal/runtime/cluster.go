@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"distredge/internal/sim"
 	"distredge/internal/transport"
 )
 
@@ -82,6 +83,35 @@ func (q *workQueue) pop() (workItem, bool) {
 	return w, true
 }
 
+// takeSameStep dequeues up to max further items for the given step,
+// preserving the queue order of everything it leaves behind. It never
+// blocks: it only coalesces work that already queued while the compute
+// thread was busy, which is exactly the population batching can amortise —
+// an empty queue means the device is keeping up and there is nothing to
+// batch. The in-place filter writes behind its read cursor, so no
+// allocation and no reordering.
+func (q *workQueue) takeSameStep(step, max int) []workItem {
+	if max <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	var taken []workItem
+	rest := q.items[:0]
+	for _, w := range q.items {
+		if len(taken) < max && w.step == step {
+			taken = append(taken, w)
+			continue
+		}
+		rest = append(rest, w)
+	}
+	q.items = rest
+	return taken
+}
+
 func (q *workQueue) close() {
 	q.mu.Lock()
 	q.closed = true
@@ -121,6 +151,7 @@ type Provider struct {
 	minImg uint32                 // images below this are gc'ed; late chunks dropped
 
 	hb     time.Duration // heartbeat period; 0 = disabled
+	batch  int           // per-step image batching cap; <= 1 disables
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
@@ -131,7 +162,7 @@ type Provider struct {
 // newProvider starts a provider listening on the given transport. Errors
 // that occur while the provider is live (not shutting down) are reported to
 // fail, attributed to the peer the provider was talking to.
-func newProvider(plan ProviderPlan, epoch int, hb time.Duration, fail func(int, error), tr transport.Transport) (*Provider, error) {
+func newProvider(plan ProviderPlan, epoch int, hb time.Duration, batch int, fail func(int, error), tr transport.Transport) (*Provider, error) {
 	ln, err := tr.Listen(plan.Index)
 	if err != nil {
 		return nil, err
@@ -148,6 +179,7 @@ func newProvider(plan ProviderPlan, epoch int, hb time.Duration, fail func(int, 
 		outbox:    make(chan outMsg, 256),
 		images:    make(map[uint32]*imageState),
 		hb:        hb,
+		batch:     batch,
 		done:      make(chan struct{}),
 		fail:      fail,
 	}
@@ -296,38 +328,53 @@ func (p *Provider) deliver(ch Chunk) {
 
 // computeLoop is the compute thread: it emulates the split-part execution
 // and hands finished outputs to the send thread (or back to assembly for
-// self-routes).
+// self-routes). With Options.Batch > 1 it coalesces same-step work items
+// that queued while it was busy into one invocation charged the sublinear
+// sim.BatchedComputeSec cost; outputs are still emitted per image, so
+// everything downstream of the compute thread is oblivious to batching.
 func (p *Provider) computeLoop() {
 	defer p.wg.Done()
+	batch := make([]workItem, 0, p.batch)
 	for {
 		w, ok := p.work.pop()
 		if !ok {
 			return
 		}
-		st := &p.plan.Steps[w.step]
-		if st.ComputeSec > 0 {
-			time.Sleep(time.Duration(st.ComputeSec * float64(time.Second)))
+		batch = append(batch[:0], w)
+		if p.batch > 1 {
+			batch = append(batch, p.work.takeSameStep(w.step, p.batch-1)...)
 		}
-		p.rec.addCompute(st.ComputeSec)
-		for _, r := range st.Routes {
-			ch := Chunk{
-				Image:   w.img,
-				Volume:  int32(st.Volume),
-				Lo:      int32(r.Lo),
-				Hi:      int32(r.Hi),
-				Payload: transport.GetPayload(p.tr, (r.Hi-r.Lo)*st.RowBytes),
-			}
-			if r.Dest == p.plan.Index {
-				// Self-routes never touch the wire; recycle the payload
-				// directly once assembly has recorded it.
-				p.deliver(ch)
-				transport.RecyclePayload(p.tr, ch.Payload)
-				continue
-			}
-			select {
-			case p.outbox <- outMsg{dest: r.Dest, ch: ch}:
-			case <-p.done:
-				return
+		st := &p.plan.Steps[w.step]
+		cost := st.ComputeSec
+		if len(batch) > 1 {
+			cost = sim.BatchedComputeSec(st.ComputeSec, len(batch))
+		}
+		if cost > 0 {
+			time.Sleep(time.Duration(cost * float64(time.Second)))
+		}
+		p.rec.addComputeBatch(cost, len(batch))
+		for _, w := range batch {
+			for _, r := range st.Routes {
+				ch := Chunk{
+					Image:   w.img,
+					Volume:  int32(st.Volume),
+					Lo:      int32(r.Lo),
+					Hi:      int32(r.Hi),
+					Payload: transport.GetPayload(p.tr, (r.Hi-r.Lo)*st.RowBytes),
+				}
+				fillActivation(ch.Payload, ch.Image^uint32(st.Volume)<<8^uint32(r.Lo)<<16)
+				if r.Dest == p.plan.Index {
+					// Self-routes never touch the wire; recycle the payload
+					// directly once assembly has recorded it.
+					p.deliver(ch)
+					transport.RecyclePayload(p.tr, ch.Payload)
+					continue
+				}
+				select {
+				case p.outbox <- outMsg{dest: r.Dest, ch: ch}:
+				case <-p.done:
+					return
+				}
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// fillActivation fills an emulated payload with plausible activation data:
+// little-endian float32 values in roughly [-8, 8), deterministically derived
+// from the seed. The runtime's payloads carry no real tensor values — only
+// their byte counts matter to the protocol — but the wire codecs do look at
+// the bytes: deflate's ratio and the quant codec's error bounds are
+// meaningless on the all-zero buffers a fresh pool hands out (all-zero
+// compresses ~1000x, which would wreck the predicted-vs-measured fidelity
+// comparison). An xorshift32 stream is cheap (~1 GB/s single-threaded, well
+// below the emulation's scaled wire rates) and gives deflate realistically
+// incompressible mantissas while staying reproducible across runs.
+func fillActivation(buf []byte, seed uint32) {
+	x := seed | 1 // xorshift must not start at 0
+	i := 0
+	for ; i+4 <= len(buf); i += 4 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		// int32(x) spans [-2^31, 2^31); dividing by 2^28 spreads values
+		// across [-8, 8) with full mantissa entropy.
+		v := float32(int32(x)) / float32(1<<28)
+		binary.LittleEndian.PutUint32(buf[i:], math.Float32bits(v))
+	}
+	for ; i < len(buf); i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		buf[i] = byte(x)
+	}
+}

@@ -47,7 +47,7 @@ func TestSelfRouteFanoutNoDeadlock(t *testing.T) {
 			RowBytes: 1,
 		})
 	}
-	p, err := newProvider(plan, 0, 0, nil, testTransport())
+	p, err := newProvider(plan, 0, 0, 1, nil, testTransport())
 	if err != nil {
 		t.Fatal(err)
 	}

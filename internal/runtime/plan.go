@@ -45,6 +45,16 @@ type Options struct {
 	// peers, failed sends — abort runs immediately, without waiting it out.
 	Timeout time.Duration
 
+	// Batch caps per-step image batching on every provider: when a step
+	// becomes ready while the compute thread is busy, up to Batch queued
+	// same-step work items (across in-flight images) coalesce into one
+	// emulated invocation charged sim.BatchedComputeSec — the per-step
+	// fixed cost once plus a marginal share per image. Outputs are still
+	// emitted per image, so assembly, gc watermarks, churn recovery and
+	// re-scatter are untouched. 0 or 1 disables batching (bit-identical to
+	// the pre-batching compute loop).
+	Batch int
+
 	// Recover turns on online churn recovery: when a provider is declared
 	// dead mid-run (missed heartbeats, failed sends), RunPipelined
 	// quarantines it, re-plans the strategy over the survivors, redeploys
@@ -98,6 +108,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HeartbeatMisses <= 0 {
 		o.HeartbeatMisses = 6
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
 	}
 	if o.Transport == nil {
 		o.Transport = transport.NewPooledTCP(nil, nil)

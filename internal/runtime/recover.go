@@ -132,7 +132,7 @@ func (c *Cluster) recover() (float64, error) {
 		if !alive[pp.Index] {
 			continue
 		}
-		p, err := newProvider(pp, epoch, c.opts.HeartbeatInterval, c.providerFailFn(epoch), c.tr)
+		p, err := newProvider(pp, epoch, c.opts.HeartbeatInterval, c.opts.Batch, c.providerFailFn(epoch), c.tr)
 		if err != nil {
 			for _, q := range provs {
 				if q != nil {

@@ -85,7 +85,7 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 	}
 	addrs := make(map[int]string)
 	for _, pp := range plan.Providers {
-		p, err := newProvider(pp, 0, opts.HeartbeatInterval, c.providerFailFn(0), c.tr)
+		p, err := newProvider(pp, 0, opts.HeartbeatInterval, opts.Batch, c.providerFailFn(0), c.tr)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -282,6 +282,7 @@ func (c *Cluster) sendInput(img uint32) error {
 			Hi:      int32(need.Hi),
 			Payload: transport.GetPayload(c.tr, (need.Hi-need.Lo)*c.plan.InputRowBytes),
 		}
+		fillActivation(ch.Payload, img^uint32(need.Lo)<<16)
 		wg.Add(1)
 		go func(dest int, ch Chunk) {
 			defer wg.Done()
@@ -333,6 +334,7 @@ func (c *Cluster) sendToProvider(dest int, ch Chunk) error {
 type RunStats struct {
 	Images     int
 	Window     int // admission window the run used (1 = sequential)
+	Batch      int // per-step image batching cap the providers ran with
 	TotalSec   float64
 	IPS        float64   // completed images per second
 	PerImageMS []float64 // admission-to-completion latency per image (0 = never completed)
@@ -389,7 +391,7 @@ func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 	if err := c.Err(); err != nil {
 		return RunStats{}, fmt.Errorf("runtime: cluster already failed: %w", err)
 	}
-	stats := RunStats{Images: images, Window: window, PerImageMS: make([]float64, images)}
+	stats := RunStats{Images: images, Window: window, Batch: c.opts.Batch, PerImageMS: make([]float64, images)}
 	t0s := make([]time.Time, images)
 	completed := make([]bool, images)
 	remaining := make([]int, images)

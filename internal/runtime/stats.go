@@ -12,6 +12,13 @@ type ProviderStats struct {
 	StepsExecuted  int
 	ChunksReceived int
 	ChunksSent     int
+
+	// Invocations counts compute-thread invocations; with step batching on,
+	// one invocation can cover several images' instances of a step, so
+	// Invocations < StepsExecuted means batches actually formed. MaxBatch is
+	// the largest coalesced batch observed.
+	Invocations int
+	MaxBatch    int
 }
 
 // statsRecorder is embedded in Provider; all methods are safe for
@@ -21,10 +28,16 @@ type statsRecorder struct {
 	stats ProviderStats
 }
 
-func (s *statsRecorder) addCompute(sec float64) {
+// addComputeBatch records one compute invocation covering n step instances
+// (n > 1 only when the compute loop coalesced queued same-step images).
+func (s *statsRecorder) addComputeBatch(sec float64, n int) {
 	s.mu.Lock()
 	s.stats.ComputeSec += sec
-	s.stats.StepsExecuted++
+	s.stats.StepsExecuted += n
+	s.stats.Invocations++
+	if n > s.stats.MaxBatch {
+		s.stats.MaxBatch = n
+	}
 	s.mu.Unlock()
 }
 

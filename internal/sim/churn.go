@@ -178,7 +178,7 @@ func (e *Env) ChurnStream(s *strategy.Strategy, images, window int, start float6
 		factors[i] = 1
 	}
 
-	ps := newPipeState(n)
+	ps := newPipeState(n, 0, 1, 1) // churn replay is unbatched, raw wire bytes
 	firstAdm := make([]float64, images)
 	complete := make([]float64, images)
 	perImage := make([]float64, images)

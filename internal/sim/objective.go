@@ -86,6 +86,12 @@ type ThroughputObjective struct {
 	// long enough that the second-half SteadyIPS measures the filled
 	// pipeline, short enough for per-episode use).
 	Images int
+	// Batch is the per-step image batching the deployment will run with
+	// (Options.Batch); the objective scores strategies under the same
+	// sublinear batch cost model the runtime charges, so plans picked for a
+	// batched deployment account for the amortised step cost. Default 1
+	// (no batching — bit-identical to the pre-batching objective).
+	Batch int
 }
 
 func (o ThroughputObjective) withDefaults() ThroughputObjective {
@@ -94,6 +100,9 @@ func (o ThroughputObjective) withDefaults() ThroughputObjective {
 	}
 	if o.Images <= 0 {
 		o.Images = 4*o.Window + 8
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
 	}
 	return o
 }
@@ -104,7 +113,7 @@ func (ThroughputObjective) Name() string { return "ips" }
 // Score returns steady-state seconds per image at the configured window.
 func (o ThroughputObjective) Score(e *Env, s *strategy.Strategy, at float64) (float64, error) {
 	o = o.withDefaults()
-	res, err := e.PipelineStream(s, o.Images, o.Window, at)
+	res, err := e.PipelineStreamOpts(s, PipelineConfig{Images: o.Images, Window: o.Window, Batch: o.Batch, Start: at})
 	if err != nil {
 		return 0, err
 	}

@@ -16,6 +16,7 @@ import (
 type PipelineResult struct {
 	Images   int
 	Window   int
+	Batch    int     // per-step image batching the devices were modelled with
 	TotalSec float64 // first admission to last completion
 	IPS      float64 // Images / TotalSec
 	// SteadyIPS is the throughput over the second half of the stream, after
@@ -48,9 +49,25 @@ type pipeState struct {
 	devFloor []float64
 	linkEnd  []float64
 	upEnd    float64
+
+	// Step batching (batch > 1 only; batch 1 keeps the float operations of
+	// the unbatched engine untouched). stepRuns counts, per (device, volume)
+	// pair, how many consecutive images joined the currently open batch of
+	// that step, mirroring the runtime's workQueue coalescing: a step whose
+	// inputs arrive while the device is still busy queues behind it, and up
+	// to `batch` queued images of the same step run as one invocation — the
+	// first pays the full step cost, the rest only the marginal cost.
+	batch    int
+	stride   int // stepRuns row stride: volumes + 1 (synthetic FC generation)
+	stepRuns []int
+
+	// wire multiplies transfer bytes, modelling a payload-shrinking wire
+	// codec (1 = raw activation bytes; applied only when != 1 so the
+	// default path stays bit-identical).
+	wire float64
 }
 
-func newPipeState(n int) *pipeState {
+func newPipeState(n, numVols, batch int, wire float64) *pipeState {
 	ps := &pipeState{
 		n:        n,
 		devFree:  make([]float64, n),
@@ -58,6 +75,12 @@ func newPipeState(n int) *pipeState {
 		upFree:   math.Inf(-1),
 		devFloor: make([]float64, n),
 		linkEnd:  make([]float64, (n+1)*(n+1)),
+		batch:    batch,
+		stride:   numVols + 1,
+		wire:     wire,
+	}
+	if batch > 1 {
+		ps.stepRuns = make([]int, n*ps.stride)
 	}
 	for i := range ps.devFree {
 		ps.devFree[i] = math.Inf(-1)
@@ -66,6 +89,31 @@ func newPipeState(n int) *pipeState {
 		ps.linkFree[i] = math.Inf(-1)
 	}
 	return ps
+}
+
+// batchedComp returns the compute seconds image m charges for the step of
+// volume v on device i. queued reports whether the step's inputs arrived
+// while the device was still busy — the precondition for the runtime's
+// queue coalescing. A queued step joins the open (i, v) batch while it has
+// room and pays only the marginal cost; otherwise it starts (or restarts)
+// the batch and pays the full step cost. Only called when ps.batch > 1.
+func (ps *pipeState) batchedComp(i, v int, comp float64, queued bool) float64 {
+	k := i*ps.stride + v
+	if queued && ps.stepRuns[k] >= 1 && ps.stepRuns[k] < ps.batch {
+		ps.stepRuns[k]++
+		return comp * (1 - BatchFixedFrac)
+	}
+	ps.stepRuns[k] = 1
+	return comp
+}
+
+// xferBytes applies the wire-codec byte fraction (identity when wire == 1,
+// with no float operation, so the default path is bit-identical).
+func (ps *pipeState) xferBytes(b float64) float64 {
+	if ps.wire != 1 {
+		return b * ps.wire
+	}
+	return b
 }
 
 // linkIdx maps a directed (from, to) pair (network.Requester = -1 allowed on
@@ -116,7 +164,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 				if v == 0 {
 					// Scatter starts once the uplink has finished pumping
 					// the previous in-flight images' inputs.
-					tr := net.TransferLatency(network.Requester, i, cp.scatterB, at+upFloor)
+					tr := net.TransferLatency(network.Requester, i, ps.xferBytes(cp.scatterB), at+upFloor)
 					arrive = upFloor + tr
 					if arrive > ps.upEnd {
 						ps.upEnd = arrive
@@ -129,7 +177,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 							if lf := floor(ps.linkFree[li], at); lf > t {
 								t = lf
 							}
-							tr := net.TransferLatency(src.j, i, src.bytes, at+t)
+							tr := net.TransferLatency(src.j, i, ps.xferBytes(src.bytes), at+t)
 							t += tr
 							if t > ps.linkEnd[li] {
 								ps.linkEnd[li] = t
@@ -145,7 +193,11 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 			if p.busy[i] > start {
 				start = p.busy[i]
 			}
-			finish := start + cp.comp
+			comp := cp.comp
+			if ps.batch > 1 {
+				comp = ps.batchedComp(i, v, comp, p.busy[i] > arrive)
+			}
+			finish := start + comp
 			p.busy[i] = finish
 			p.accNext[i] = finish
 		}
@@ -161,7 +213,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 			if lf := floor(ps.linkFree[li], at); lf > t {
 				t = lf
 			}
-			t += net.TransferLatency(f.j, network.Requester, f.bytes, at+t)
+			t += net.TransferLatency(f.j, network.Requester, ps.xferBytes(f.bytes), at+t)
 			if t > ps.linkEnd[li] {
 				ps.linkEnd[li] = t
 			}
@@ -177,7 +229,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 			if lf := floor(ps.linkFree[li], at); lf > t {
 				t = lf
 			}
-			t += net.TransferLatency(f.j, p.fcOwner, f.bytes, at+t)
+			t += net.TransferLatency(f.j, p.fcOwner, ps.xferBytes(f.bytes), at+t)
 			if t > ps.linkEnd[li] {
 				ps.linkEnd[li] = t
 			}
@@ -189,14 +241,18 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 		if p.busy[p.fcOwner] > start {
 			start = p.busy[p.fcOwner]
 		}
-		done := start + p.fcLat
+		fcLat := p.fcLat
+		if ps.batch > 1 {
+			fcLat = ps.batchedComp(p.fcOwner, len(p.vols), fcLat, p.busy[p.fcOwner] > ready)
+		}
+		done := start + fcLat
 		p.busy[p.fcOwner] = done
 		li := ps.linkIdx(p.fcOwner, network.Requester)
 		t := done
 		if lf := floor(ps.linkFree[li], at); lf > t {
 			t = lf
 		}
-		end = t + net.TransferLatency(p.fcOwner, network.Requester, p.resultBytes, at+t)
+		end = t + net.TransferLatency(p.fcOwner, network.Requester, ps.xferBytes(p.resultBytes), at+t)
 		if end > ps.linkEnd[li] {
 			ps.linkEnd[li] = end
 		}
@@ -236,17 +292,59 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 // scatter uplink — so the result measures the sustained images/sec the
 // deployment can serve plus the per-image latency distribution under load.
 func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start float64) (PipelineResult, error) {
+	return e.PipelineStreamOpts(s, PipelineConfig{Images: images, Window: window, Start: start})
+}
+
+// PipelineConfig parameterises PipelineStreamOpts beyond the basic
+// images/window/start triple. The zero value of the optional fields selects
+// today's behaviour: Batch <= 0 means 1 (no step batching) and WireFrac 0
+// means 1 (raw activation bytes on every link).
+type PipelineConfig struct {
+	Images int
+	Window int
+
+	// Batch is the per-step image batching the devices run with: up to
+	// Batch images whose inputs queued behind a busy device coalesce into
+	// one step invocation under the sublinear BatchedComputeSec cost model.
+	// 1 (or <= 0) reproduces PipelineStream bit-for-bit.
+	Batch int
+
+	// WireFrac scales every transfer's byte count, modelling a wire codec
+	// that shrinks payloads (0.25 for int8 quantization, 0.5 for fp16).
+	// 0 means 1 (raw bytes). Must be positive and finite.
+	WireFrac float64
+
+	Start float64 // trace time of the first admission
+}
+
+// PipelineStreamOpts is PipelineStream with step batching and a wire-codec
+// byte fraction folded into the busy-floor model. With Batch and WireFrac
+// at their defaults it is exactly PipelineStream (bit-identical float
+// operations, property-tested).
+func (e *Env) PipelineStreamOpts(s *strategy.Strategy, cfg PipelineConfig) (PipelineResult, error) {
+	images, window, start := cfg.Images, cfg.Window, cfg.Start
 	if images <= 0 {
 		return PipelineResult{}, fmt.Errorf("sim: need at least 1 image")
 	}
 	if window < 1 {
 		return PipelineResult{}, fmt.Errorf("sim: window must be >= 1, got %d", window)
 	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	wire := cfg.WireFrac
+	if wire == 0 {
+		wire = 1
+	}
+	if !(wire > 0) || math.IsInf(wire, 0) {
+		return PipelineResult{}, fmt.Errorf("sim: wire fraction must be positive and finite, got %v", cfg.WireFrac)
+	}
 	p, err := e.checkoutPlan(s)
 	if err != nil {
 		return PipelineResult{}, err
 	}
-	ps := newPipeState(e.NumProviders())
+	ps := newPipeState(e.NumProviders(), len(p.vols), batch, wire)
 	complete := make([]float64, images)
 	perImage := make([]float64, images)
 	adm := start
@@ -265,6 +363,7 @@ func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start flo
 	res := PipelineResult{
 		Images:      images,
 		Window:      window,
+		Batch:       batch,
 		TotalSec:    complete[images-1] - start,
 		PerImageSec: perImage,
 	}

@@ -9,10 +9,14 @@ import (
 // BenchmarkChunkCodec measures encode+decode of one data chunk through a
 // stateful stream for each codec and payload size — the hot path every
 // activation row crosses on socket transports. The binary codec must beat
-// gob in both ns/op and allocs/op (BENCH_baseline.json records the
-// snapshot).
+// gob in both ns/op and allocs/op, and the quant encoders must not
+// allocate in steady state (BENCH_baseline.json records the snapshot).
 func BenchmarkChunkCodec(b *testing.B) {
-	for _, codec := range []Codec{Gob(), Binary(), Deflate()} {
+	codecs := []Codec{
+		Gob(), Binary(), Deflate(),
+		Quant(QuantInt8, nil), Quant(QuantFP16, nil), Quant(QuantInt8, Deflate()),
+	}
+	for _, codec := range codecs {
 		for _, payload := range []int{1 << 10, 64 << 10, 1 << 20} {
 			b.Run(fmt.Sprintf("%s/%dKiB", codec.Name(), payload>>10), func(b *testing.B) {
 				var buf bytes.Buffer
@@ -32,6 +36,29 @@ func BenchmarkChunkCodec(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkDeflateConnChurn measures a freshly dialled connection's first
+// chunk: new encoder and decoder state, one 64 KiB message through them.
+// The package-level flate pools make this cheap — without them every new
+// conn paid a ~330 KB flate.Writer plus a ~50 KB decompressor allocation
+// right here, multiplied by the n^2 links of an n-provider cluster.
+func BenchmarkDeflateConnChurn(b *testing.B) {
+	codec := Deflate()
+	msg := testMessage(64 << 10)
+	var out Message
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := codec.NewEncoder(&buf).Encode(&msg); err != nil {
+			b.Fatal(err)
+		}
+		if err := codec.NewDecoder(&buf).Decode(&out); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

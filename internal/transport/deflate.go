@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Deflate returns a codec that DEFLATE-compresses data-chunk payloads
@@ -16,6 +17,17 @@ import (
 // spent here buys back wire seconds — see DESIGN.md for when the trade
 // wins. The flate level is BestSpeed: the codec sits on the serving hot
 // path, where ratio beyond "good enough" is worth less than encode time.
+//
+// Compressor and decompressor state is shared across all connections
+// through package-level sync.Pools: a flate.Writer is ~330 KB and a
+// decompressor ~50 KB, so per-connection private instances made every
+// dialled link pay that once — on an n-provider cluster with n^2 links,
+// megabytes of dead weight pinned by idle conns. Checked out per message
+// and returned immediately, a handful of instances now serve any number
+// of connections. (The remaining per-message decode allocations are the
+// stdlib decompressor's per-block Huffman tables, which flate rebuilds
+// from scratch on every dynamic block — not codec state, and not
+// poolable from outside the stdlib.)
 func Deflate() Codec { return deflateCodec{inner: Binary()} }
 
 type deflateCodec struct{ inner Codec }
@@ -40,9 +52,37 @@ func (c deflateCodec) NewPooledDecoder(r io.Reader, pool *Pool) Decoder {
 	return &deflateDecoder{inner: inner, pool: pool}
 }
 
+// flateWriters / flateReaders share compressor and decompressor state
+// across every deflate encoder and decoder in the process. New() stays nil
+// so a miss is visible as a nil and constructed with the right level in
+// one place.
+var flateWriters = sync.Pool{}
+var flateReaders = sync.Pool{}
+
+func getFlateWriter(w io.Writer) (*flate.Writer, error) {
+	if fw, ok := flateWriters.Get().(*flate.Writer); ok {
+		fw.Reset(w)
+		return fw, nil
+	}
+	return flate.NewWriter(w, flate.BestSpeed)
+}
+
+func putFlateWriter(fw *flate.Writer) { flateWriters.Put(fw) }
+
+func getFlateReader(r io.Reader) (io.ReadCloser, error) {
+	if fr, ok := flateReaders.Get().(io.ReadCloser); ok {
+		if err := fr.(flate.Resetter).Reset(r, nil); err != nil {
+			return nil, err
+		}
+		return fr, nil
+	}
+	return flate.NewReader(r), nil
+}
+
+func putFlateReader(fr io.ReadCloser) { flateReaders.Put(fr) }
+
 type deflateEncoder struct {
 	inner Encoder
-	fw    *flate.Writer
 	buf   bytes.Buffer
 }
 
@@ -51,21 +91,17 @@ func (e *deflateEncoder) Encode(m *Message) error {
 		return e.inner.Encode(m)
 	}
 	e.buf.Reset()
-	if e.fw == nil {
-		w, err := flate.NewWriter(&e.buf, flate.BestSpeed)
-		if err != nil {
-			return err
-		}
-		e.fw = w
-	} else {
-		e.fw.Reset(&e.buf)
-	}
-	if _, err := e.fw.Write(m.Payload); err != nil {
+	fw, err := getFlateWriter(&e.buf)
+	if err != nil {
 		return err
 	}
-	if err := e.fw.Close(); err != nil {
+	if _, err := fw.Write(m.Payload); err != nil {
 		return err
 	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	putFlateWriter(fw)
 	// Frame a copy of the message so the caller's payload field — whose
 	// ownership the Send contract may hand to a pool — is never rewritten.
 	tmp := *m
@@ -75,7 +111,6 @@ func (e *deflateEncoder) Encode(m *Message) error {
 
 type deflateDecoder struct {
 	inner Decoder
-	fr    io.ReadCloser
 	br    bytes.Reader
 	out   bytes.Buffer
 	pool  *Pool
@@ -90,15 +125,15 @@ func (d *deflateDecoder) Decode(m *Message) error {
 	}
 	compressed := m.Payload
 	d.br.Reset(compressed)
-	if d.fr == nil {
-		d.fr = flate.NewReader(&d.br)
-	} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+	fr, err := getFlateReader(&d.br)
+	if err != nil {
 		return err
 	}
 	d.out.Reset()
-	if _, err := d.out.ReadFrom(d.fr); err != nil {
+	if _, err := d.out.ReadFrom(fr); err != nil {
 		return fmt.Errorf("transport: deflate payload: %w", err)
 	}
+	putFlateReader(fr)
 	buf := d.pool.Get(d.out.Len())
 	copy(buf, d.out.Bytes())
 	m.Payload = buf

@@ -40,9 +40,18 @@ type Shaped struct {
 	timeScale  float64
 	bytesScale float64
 	start      float64
+	wireCodec  Codec // non-nil: charge post-codec frame bytes, not raw payload
 
 	t0Once sync.Once
 	t0     time.Time
+}
+
+// WireCodec is implemented by transports that can report the codec their
+// frames actually cross the wire in (the tcp transport returns its
+// configured codec). Shaped.ChargePostCodec uses it to charge emulated
+// links the bytes the codec really produces.
+type WireCodec interface {
+	WireCodec() Codec
 }
 
 // NewShaped wraps inner so sends are charged trace latency from net.
@@ -65,6 +74,24 @@ func NewShaped(inner Transport, net *network.Network, timeScale, bytesScale, sta
 }
 
 func (t *Shaped) Name() string { return "shaped+" + t.inner.Name() }
+
+// ChargePostCodec switches byte charging from raw payload lengths to the
+// size of the codec-produced wire frame (minus the fixed chunk header,
+// which is emulation overhead, not activation bytes): a quantizing or
+// compressing codec then genuinely buys back link seconds on shaped runs,
+// which is what makes compression wins measurable per wire regime. The
+// codec comes from the inner transport's WireCodec; an inner transport
+// without one (inproc — payloads cross by reference, there is no wire
+// frame) keeps pre-codec charging silently, preserving today's semantics.
+// Each message is encoded twice (once to size it, once to send it); the
+// shaped transport trades that CPU for model accuracy by design. Returns t
+// for chaining.
+func (t *Shaped) ChargePostCodec() *Shaped {
+	if wc, ok := t.inner.(WireCodec); ok {
+		t.wireCodec = wc.WireCodec()
+	}
+	return t
+}
 
 // GetPayload / PutPayload forward payload pooling to the inner transport.
 func (t *Shaped) GetPayload(n int) []byte { return GetPayload(t.inner, n) }
@@ -115,12 +142,21 @@ type shapedConn struct {
 	t        *Shaped
 	from, to int
 	mu       sync.Mutex
+
+	// Post-codec sizing state (ChargePostCodec only): a per-conn encoder —
+	// codecs are stateful per stream — writing into a byte counter.
+	sizer   Encoder
+	counter *countWriter
 }
 
 func (c *shapedConn) Send(m Message) error {
 	if len(m.Payload) > 0 {
-		modelBytes := float64(len(m.Payload)) / c.t.bytesScale
 		c.mu.Lock()
+		wireBytes := float64(len(m.Payload))
+		if c.t.wireCodec != nil {
+			wireBytes = float64(c.wireSize(m))
+		}
+		modelBytes := wireBytes / c.t.bytesScale
 		lat := c.t.net.TransferLatency(c.from, c.to, modelBytes, c.t.traceTime())
 		if lat > 0 {
 			time.Sleep(time.Duration(lat * c.t.timeScale * float64(time.Second)))
@@ -128,4 +164,32 @@ func (c *shapedConn) Send(m Message) error {
 		c.mu.Unlock()
 	}
 	return c.Conn.Send(m)
+}
+
+// wireSize returns the bytes the message's payload occupies on the wire
+// under the charging codec: the encoded frame length minus the fixed chunk
+// header (emulation framing, not activation data). Called with c.mu held.
+// A sizing failure falls back to the raw payload length — charging too
+// many bytes is the conservative direction.
+func (c *shapedConn) wireSize(m Message) int {
+	if c.sizer == nil {
+		c.counter = &countWriter{}
+		c.sizer = c.t.wireCodec.NewEncoder(c.counter)
+	}
+	c.counter.n = 0
+	if err := c.sizer.Encode(&m); err != nil {
+		return len(m.Payload)
+	}
+	if n := c.counter.n - chunkHeaderLen; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// countWriter counts bytes and discards them.
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
 }

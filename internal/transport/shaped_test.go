@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"distredge/internal/network"
+)
+
+// shapedPair spins up a listener on device `to` over tr, drains everything
+// it accepts, and returns a dialled conn from device `from`.
+func shapedPair(t *testing.T, tr Transport, from, to int) Conn {
+	t.Helper()
+	ln, err := tr.Listen(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := tr.Dial(from, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func timeSend(t *testing.T, conn Conn, m Message) float64 {
+	t.Helper()
+	start := time.Now()
+	if err := conn.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start).Seconds()
+}
+
+// TestShapedAsymmetricLinkChargesDirection checks the model-fix satellite:
+// with a provider whose uplink and downlink traces differ, a transfer
+// towards the provider rides the fast downlink while a transfer from it
+// pays the slow uplink — the directions must stop being charged the same.
+func TestShapedAsymmetricLinkChargesDirection(t *testing.T) {
+	// Requester at 10 Mbps both ways; provider 0 uplink 1 Mbps, downlink
+	// 10 Mbps. No I/O cost, so wire time dominates.
+	asym := network.Link{Trace: network.Constant(1), Down: network.Constant(10)}
+	net := &network.Network{
+		Requester: network.Link{Trace: network.Constant(10)},
+		Providers: []network.Link{asym},
+	}
+	const timeScale = 0.5
+	const payload = 12_500 // 0.1 model sec at 1 Mbps, 0.01 at 10 Mbps
+	tr := NewShaped(NewInproc(), net, timeScale, 1, 0)
+
+	down := shapedPair(t, tr, Requester, 0) // requester -> provider: downlink
+	downSec := timeSend(t, down, testMessage(payload))
+	up := shapedPair(t, tr, 0, Requester) // provider -> requester: uplink
+	upSec := timeSend(t, up, testMessage(payload))
+
+	wantUp := 0.1 * timeScale
+	wantDown := 0.01 * timeScale
+	if upSec < 0.8*wantUp {
+		t.Errorf("uplink send took %.3fs, want >= ~%.3fs (slow uplink)", upSec, wantUp)
+	}
+	if downSec > 0.5*wantUp {
+		t.Errorf("downlink send took %.3fs — charged like the uplink (want ~%.3fs)", downSec, wantDown)
+	}
+}
+
+// TestShapedPostCodecCharging checks ChargePostCodec charges the bytes the
+// codec puts on the wire, not the raw payload: an int8-quantizing tcp
+// stack moves 4x fewer bytes, so the charged latency drops ~4x, while the
+// default pre-codec charging is oblivious to the codec.
+func TestShapedPostCodecCharging(t *testing.T) {
+	net := &network.Network{
+		Requester: network.Link{Trace: network.Constant(1)},
+		Providers: []network.Link{{Trace: network.Constant(1)}},
+	}
+	const timeScale = 0.5
+	const payload = 50_000 // 0.4 model sec raw at 1 Mbps; 0.1 quantized
+	msg := testMessage(payload)
+
+	pre := NewShaped(NewPooledTCP(Quant(QuantInt8, nil), nil), net, timeScale, 1, 0)
+	preSec := timeSend(t, shapedPair(t, pre, Requester, 0), msg)
+
+	post := NewShaped(NewPooledTCP(Quant(QuantInt8, nil), nil), net, timeScale, 1, 0).ChargePostCodec()
+	msg2 := testMessage(payload) // Send hands payload ownership to the pool
+	postSec := timeSend(t, shapedPair(t, post, Requester, 0), msg2)
+
+	wantPre := 0.4 * timeScale
+	wantPost := 0.1 * timeScale
+	if preSec < 0.8*wantPre {
+		t.Errorf("pre-codec charge took %.3fs, want >= ~%.3fs (raw bytes)", preSec, wantPre)
+	}
+	if postSec < 0.8*wantPost || postSec > 0.5*wantPre {
+		t.Errorf("post-codec charge took %.3fs, want ~%.3fs (quantized bytes)", postSec, wantPost)
+	}
+}
+
+// TestShapedPostCodecFallsBackWithoutWireCodec checks an inner transport
+// with no wire codec (inproc: payloads cross by reference) silently keeps
+// pre-codec charging.
+func TestShapedPostCodecFallsBackWithoutWireCodec(t *testing.T) {
+	net := &network.Network{
+		Requester: network.Link{Trace: network.Constant(1)},
+		Providers: []network.Link{{Trace: network.Constant(1)}},
+	}
+	const timeScale = 0.5
+	tr := NewShaped(NewInproc(), net, timeScale, 1, 0).ChargePostCodec()
+	sec := timeSend(t, shapedPair(t, tr, Requester, 0), testMessage(12_500))
+	want := 0.1 * timeScale
+	if sec < 0.8*want {
+		t.Errorf("fallback send took %.3fs, want >= ~%.3fs (raw bytes)", sec, want)
+	}
+}

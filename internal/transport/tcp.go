@@ -40,6 +40,11 @@ func NewPooledTCP(codec Codec, pool *Pool) Transport {
 
 func (t *tcpTransport) Name() string { return "tcp+" + t.codec.Name() }
 
+// WireCodec exposes the codec frames actually cross the socket in, so a
+// wrapping Shaped transport can charge post-codec bytes (quantized or
+// compressed sizes) instead of raw payload bytes.
+func (t *tcpTransport) WireCodec() Codec { return t.codec }
+
 // GetPayload / PutPayload implement PayloadPool (plain allocation when the
 // transport was built without a pool).
 func (t *tcpTransport) GetPayload(n int) []byte { return t.pool.Get(n) }

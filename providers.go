@@ -130,16 +130,25 @@ func ParseObjective(spec string) (Objective, error) {
 // ParseTransport builds the wire stack named by the command-line
 // -transport flag:
 //
-//	tcp         — localhost TCP sockets, binary chunk codec (the default)
-//	tcp+gob     — localhost TCP sockets, legacy gob wire format
-//	tcp+deflate — tcp with DEFLATE-compressed chunk payloads (worth the
-//	              CPU on low-bandwidth shaped links; see DESIGN.md)
-//	inproc      — in-process channels, no sockets (fast, race-clean)
+//	tcp              — localhost TCP sockets, binary chunk codec (the default)
+//	tcp+gob          — localhost TCP sockets, legacy gob wire format
+//	tcp+deflate      — tcp with DEFLATE-compressed chunk payloads (worth the
+//	                   CPU on low-bandwidth shaped links; see DESIGN.md)
+//	tcp+quant        — tcp with int8-quantized chunk payloads (4x fewer
+//	                   payload bytes; lossy — see DESIGN.md "Quantized
+//	                   payloads")
+//	tcp+quant16      — tcp with fp16-quantized chunk payloads (2x, near
+//	                   lossless)
+//	tcp+quant+deflate — int8 quantization with DEFLATE over the quantized
+//	                   bytes (the compositions stack back to front)
+//	inproc           — in-process channels, no sockets (fast, race-clean)
 //
-// The serving stacks (tcp, tcp+deflate, inproc) carry a payload pool so
+// The serving stacks (everything but tcp+gob) carry a payload pool so
 // chunk buffers are recycled across images. Wrap the result with
 // System.ShapedTransport to charge the system's WiFi trace latency to
-// every payload byte (the -trace flag).
+// every payload byte (the -trace flag), or ShapedTransportPostCodec to
+// charge the post-codec wire bytes so quantization and compression pay
+// off on the shaped wire too.
 func ParseTransport(spec string) (transport.Transport, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "tcp":
@@ -148,10 +157,16 @@ func ParseTransport(spec string) (transport.Transport, error) {
 		return transport.NewTCP(transport.Gob()), nil
 	case "tcp+deflate":
 		return transport.NewPooledTCP(transport.Deflate(), nil), nil
+	case "tcp+quant":
+		return transport.NewPooledTCP(transport.Quant(transport.QuantInt8, nil), nil), nil
+	case "tcp+quant16":
+		return transport.NewPooledTCP(transport.Quant(transport.QuantFP16, nil), nil), nil
+	case "tcp+quant+deflate":
+		return transport.NewPooledTCP(transport.Quant(transport.QuantInt8, transport.Deflate()), nil), nil
 	case "inproc":
 		return transport.NewPooledInproc(nil), nil
 	default:
-		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|tcp+deflate|inproc)", spec)
+		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc)", spec)
 	}
 }
 
@@ -164,4 +179,15 @@ func ParseTransport(spec string) (transport.Transport, error) {
 // and wall-clock sleeps map back to model scale consistently.
 func (s *System) ShapedTransport(inner transport.Transport, opts runtime.Options) transport.Transport {
 	return transport.NewShaped(inner, s.env.Net, opts.TimeScale, opts.BytesScale, 0)
+}
+
+// ShapedTransportPostCodec is ShapedTransport with post-codec byte
+// charging: the trace latency is charged for the bytes the inner
+// transport's codec actually puts on the wire rather than the raw
+// payload, so quantizing and compressing codecs (tcp+quant,
+// tcp+quant+deflate, tcp+deflate) buy back shaped wire seconds exactly as
+// they would on a real link. Inner transports without a wire codec
+// (inproc — payloads cross by reference) keep the raw-byte charge.
+func (s *System) ShapedTransportPostCodec(inner transport.Transport, opts runtime.Options) transport.Transport {
+	return transport.NewShaped(inner, s.env.Net, opts.TimeScale, opts.BytesScale, 0).ChargePostCodec()
 }

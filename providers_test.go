@@ -105,11 +105,14 @@ func TestParseChurnErrors(t *testing.T) {
 
 func TestParseTransport(t *testing.T) {
 	for spec, wantName := range map[string]string{
-		"":            "tcp+binary",
-		"tcp":         "tcp+binary",
-		"tcp+gob":     "tcp+gob",
-		"tcp+deflate": "tcp+deflate",
-		"inproc":      "inproc",
+		"":                  "tcp+binary",
+		"tcp":               "tcp+binary",
+		"tcp+gob":           "tcp+gob",
+		"tcp+deflate":       "tcp+deflate",
+		"tcp+quant":         "tcp+quant8",
+		"tcp+quant16":       "tcp+quant16",
+		"tcp+quant+deflate": "tcp+quant8+deflate",
+		"inproc":            "inproc",
 	} {
 		tr, err := ParseTransport(spec)
 		if err != nil {
