@@ -6,6 +6,7 @@
 package distredge
 
 import (
+	"sort"
 	"testing"
 
 	"distredge/internal/baselines"
@@ -84,8 +85,14 @@ func benchmarkMethodFigure(b *testing.B, run func(experiments.Budget) ([]experim
 		for _, r := range rows {
 			byCase[r.Case] = append(byCase[r.Case], r)
 		}
+		cases := make([]string, 0, len(byCase))
+		for c := range byCase {
+			cases = append(cases, c)
+		}
+		sort.Strings(cases)
 		var ipsSum, spdSum float64
-		for _, cr := range byCase {
+		for _, c := range cases {
+			cr := byCase[c]
 			de, ok := experiments.FindRow(cr, experiments.MethodDistrEdge)
 			if !ok {
 				b.Fatal("missing DistrEdge row")

@@ -1,0 +1,69 @@
+// Command distlint runs distredge's project-invariant analyzers over the
+// module and exits non-zero if any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/distlint [flags] [packages]
+//
+// Packages default to ./... . Flags:
+//
+//	-only  comma-separated analyzer names to run (default: all)
+//	-list  print the analyzer suite and exit
+//	-C     directory to run in (module root; default: current directory)
+//
+// Diagnostics print as file:line:col: [analyzer] message, sorted by
+// position, so editors and CI logs can jump straight to the site. The
+// process exits 1 when diagnostics were reported, 2 on driver errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distredge/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	dir := flag.String("C", "", "directory to run go list in (default: current directory)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "distlint: warning: %s: %v\n", p.ImportPath, terr)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "distlint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package. Test variants
+// (`p [p.test]`) carry the package's regular files plus its in-package
+// test files; when a variant exists the loader scans it instead of the
+// plain package so test code is checked under the same invariants.
+type Package struct {
+	ImportPath string // as listed, possibly with a " [p.test]" variant suffix
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// BasePath returns the import path with any test-variant suffix stripped:
+// analyzer scoping treats a package and its test variant identically.
+func (p *Package) BasePath() string {
+	if i := strings.IndexByte(p.ImportPath, ' '); i >= 0 {
+		return p.ImportPath[:i]
+	}
+	return p.ImportPath
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers packages matching the patterns with `go list`, parses
+// their sources and type-checks them against the toolchain's export data.
+// dir is the module directory to run `go list` in ("" = current). Load is
+// self-contained: no module dependencies, no network — export data comes
+// from the local build cache, which `go list -export` populates.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "-test"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// A test variant supersedes its plain package: same files plus the
+	// in-package tests.
+	hasVariant := map[string]bool{}
+	for _, p := range pkgs {
+		if p.ForTest != "" {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var loaded []*Package
+	for _, p := range pkgs {
+		switch {
+		case p.Standard, p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test main
+		case p.ForTest == "" && hasVariant[p.ImportPath]:
+			continue
+		case p.Error != nil && len(p.GoFiles) == 0:
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		lp, err := check(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+// check parses and type-checks one listed package. Type errors do not
+// abort the load: analyzers fall back to syntactic checks where type
+// information is missing, and the driver surfaces the errors as warnings.
+func check(fset *token.FileSet, p *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	lp := &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Info:       NewInfo(),
+	}
+
+	// Import resolution: a test variant of base package q prefers the
+	// dependency's variant compiled for q's test binary, then the plain
+	// package. Export data is read with the toolchain's gc importer.
+	variantSuffix := ""
+	if p.ForTest != "" {
+		variantSuffix = " [" + p.ForTest + ".test]"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if variantSuffix != "" {
+			if f, ok := exports[path+variantSuffix]; ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	conf := types.Config{
+		Importer:    importer.ForCompiler(fset, "gc", lookup),
+		FakeImportC: true,
+		Error:       func(err error) { lp.TypeErrors = append(lp.TypeErrors, err) },
+	}
+	// Check errors are already collected via conf.Error; the returned
+	// package is usable even when partially checked. The base path (no
+	// variant suffix) names the checked package so analyzers matching on
+	// Pkg.Path() see the real import path.
+	lp.Types, _ = conf.Check(lp.BasePath(), fset, files, lp.Info)
+	return lp, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

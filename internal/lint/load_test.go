@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadSelf smoke-tests the real go list + export-data driver path on
+// the lint package itself: the test variant must be scanned (regular plus
+// in-package test files) with full type information and no type errors.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load("", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var self *Package
+	for _, p := range pkgs {
+		if p.BasePath() == "distredge/internal/lint" {
+			self = p
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			t.Errorf("synthesized test main %s was not skipped", p.ImportPath)
+		}
+	}
+	if self == nil {
+		t.Fatalf("lint package not loaded; got %d packages", len(pkgs))
+	}
+	if !strings.Contains(self.ImportPath, "[") {
+		t.Errorf("loaded %s, want the test variant (in-package tests must be linted)", self.ImportPath)
+	}
+	if self.Types == nil || len(self.Files) == 0 {
+		t.Fatal("lint package loaded without syntax or type information")
+	}
+	for _, err := range self.TypeErrors {
+		t.Errorf("type error: %v", err)
+	}
+	// The import graph must have resolved: Load's whole point is analyzers
+	// can see through selectors into other packages.
+	if self.Types.Scope().Lookup("Load") == nil {
+		t.Error("package scope is missing its own declarations")
+	}
+}

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// LockCheck enforces the repo's documented lock discipline. It is opt-in
+// per field: a struct with a sync.Mutex/RWMutex field may annotate other
+// fields with a `guarded by <mu>` comment (doc comment or trailing line
+// comment), and every access to an annotated field from a method of that
+// struct must then hold the named lock.
+//
+// The analysis is positional within each function body: an access is
+// "held" if it sits between a receiver.mu.Lock()/RLock() and the next
+// non-deferred receiver.mu.Unlock()/RUnlock() (a deferred unlock holds to
+// the end of the function). Two control-flow refinements keep the common
+// idioms clean: an Unlock inside a block that exits (return, break,
+// continue, panic, Fatal) does not end the critical section of a Lock
+// taken outside that block — that is the `if bad { mu.Unlock(); return }`
+// early-exit pattern — and function literals are separate scopes, since a
+// goroutine body does not inherit the lock state of its creation site.
+// Accesses through local copies or non-receiver variables are not checked;
+// the discipline covers the struct's own methods, which is where this
+// codebase does its shared mutation.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforce `guarded by <mu>` field annotations in methods of the owning struct",
+	Run:  runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct is one annotated struct type in the package.
+type guardedStruct struct {
+	mutexes map[string]bool   // mutex-typed field names
+	guarded map[string]string // field -> guarding mutex field
+}
+
+func runLockCheck(p *Pass) {
+	structs := collectGuardedStructs(p)
+	if len(structs) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			gs, ok := structs[recvTypeName(recvField.Type)]
+			if !ok || len(recvField.Names) == 0 {
+				continue
+			}
+			recvName := recvField.Names[0].Name
+			if recvName == "_" {
+				continue
+			}
+			checkLockScope(p, gs, recvName, fd.Name.Name, fd.Body)
+			// Nested function literals: separate lock scopes.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockScope(p, gs, recvName, fd.Name.Name+" (func literal)", fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectGuardedStructs finds annotated structs and validates that every
+// `guarded by X` names a mutex field that exists.
+func collectGuardedStructs(p *Pass) map[string]*guardedStruct {
+	out := map[string]*guardedStruct{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{mutexes: map[string]bool{}, guarded: map[string]string{}}
+			for _, field := range st.Fields.List {
+				if isMutexType(field.Type) {
+					for _, name := range field.Names {
+						gs.mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !gs.mutexes[mu] {
+					p.Reportf(field.Pos(), "%s: `guarded by %s` names no sync.Mutex/RWMutex field of %s", fieldNames(field), mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					gs.guarded[name.Name] = mu
+				}
+			}
+			if len(gs.guarded) > 0 {
+				out[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockOp is one Lock/Unlock call on a receiver mutex at a position.
+type lockOp struct {
+	pos      token.Pos
+	mu       string
+	lock     bool
+	deferred bool
+}
+
+// checkLockScope verifies guarded-field accesses in one function body
+// (excluding nested function literals, which the caller walks separately).
+func checkLockScope(p *Pass, gs *guardedStruct, recvName, method string, body *ast.BlockStmt) {
+	var ops []lockOp
+	type access struct {
+		pos   token.Pos
+		field string
+	}
+	var accesses []access
+
+	var walk func(n ast.Node, inDefer bool) bool
+	walk = func(n ast.Node, inDefer bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				return walk(m, true)
+			})
+			return false
+		case *ast.SelectorExpr:
+			// receiver.mu.{Lock,Unlock,RLock,RUnlock}
+			if inner, ok := n.X.(*ast.SelectorExpr); ok {
+				if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName && gs.mutexes[inner.Sel.Name] {
+					switch n.Sel.Name {
+					case "Lock", "RLock":
+						ops = append(ops, lockOp{n.Pos(), inner.Sel.Name, true, inDefer})
+					case "Unlock", "RUnlock":
+						ops = append(ops, lockOp{n.Pos(), inner.Sel.Name, false, inDefer})
+					}
+					return false
+				}
+			}
+			// receiver.guardedField
+			if id, ok := n.X.(*ast.Ident); ok && id.Name == recvName {
+				if _, guarded := gs.guarded[n.Sel.Name]; guarded {
+					accesses = append(accesses, access{n.Pos(), n.Sel.Name})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, false) })
+	if len(accesses) == 0 {
+		return
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	exits := exitingBlocks(body)
+
+	heldAt := func(mu string, pos token.Pos) bool {
+		held := false
+		var lockPos token.Pos
+		for _, op := range ops {
+			if op.mu != mu || op.pos >= pos {
+				continue
+			}
+			switch {
+			case op.lock && !op.deferred:
+				held = true
+				lockPos = op.pos
+			case !op.lock && !op.deferred:
+				// An unlock on an early-exit path (inside a block that
+				// returns/branches away, with the lock taken outside it)
+				// never reaches the fall-through code being checked.
+				if held && onExitPathFrom(exits, op.pos, lockPos) {
+					continue
+				}
+				held = false
+			}
+			// Deferred unlocks run at function exit: they never end the
+			// critical section mid-body. Deferred locks would be a bug on
+			// their own; ignore them.
+		}
+		return held
+	}
+
+	for _, a := range accesses {
+		mu := gs.guarded[a.field]
+		if !heldAt(mu, a.pos) {
+			p.Reportf(a.pos, "%s.%s (guarded by %s) accessed in %s without holding %s; lock it or snapshot the field under the lock", recvName, a.field, mu, method, mu)
+		}
+	}
+}
+
+// span is a source interval of a block whose control flow exits instead of
+// falling through (its last statement is a return/branch/panic).
+type span struct{ pos, end token.Pos }
+
+// exitingBlocks collects the intervals of blocks and case bodies inside
+// body that end in a terminating statement. Nested function literals are
+// separate scopes and are skipped.
+func exitingBlocks(body *ast.BlockStmt) []span {
+	var out []span
+	record := func(stmts []ast.Stmt) {
+		if len(stmts) > 0 && terminates(stmts[len(stmts)-1]) {
+			out = append(out, span{stmts[0].Pos(), stmts[len(stmts)-1].End()})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if n != body {
+				record(n.List)
+			}
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// terminates reports whether a statement never falls through: returns,
+// branches (break/continue/goto), panics or a test Fatal / os.Exit.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name == "panic"
+		case *ast.SelectorExpr:
+			switch fn.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Exit", "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// onExitPathFrom reports whether unlockPos sits inside an exiting block
+// that excludes lockPos: the unlock belongs to an early-exit branch, so
+// the fall-through path that took the lock still holds it.
+func onExitPathFrom(exits []span, unlockPos, lockPos token.Pos) bool {
+	for _, s := range exits {
+		if s.pos <= unlockPos && unlockPos < s.end && (lockPos < s.pos || lockPos >= s.end) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMutexType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+}
+
+// guardAnnotation extracts the mutex name from a field's `guarded by X`
+// comment (doc block above or trailing line comment).
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func fieldNames(field *ast.Field) string {
+	if len(field.Names) == 0 {
+		return "embedded field"
+	}
+	s := field.Names[0].Name
+	for _, n := range field.Names[1:] {
+		s += ", " + n.Name
+	}
+	return s
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PayloadOwn enforces the transport's payload-ownership protocol
+// (documented on transport.PayloadPool): Send transfers the payload buffer
+// to the transport, Pool.Put / PutPayload / RecyclePayload hand it back to
+// the pool. Reading the buffer after either transfer races with the pool
+// recycling it into a concurrent sender — a data race the race detector
+// only catches if the recycled buffer happens to be rewritten in time, so
+// it must be caught statically.
+//
+// The analysis is per function and positional: after a statement that
+// transfers a buffer (or a message's .Payload), any later read of that
+// buffer in the same function is flagged. Reassigning the variable (or the
+// .Payload field) re-arms it. len() and cap() stay legal — a transferred
+// slice header is a value; only the pointed-to bytes are owned by the
+// pool. Function literals are analyzed as their own scopes.
+var PayloadOwn = &Analyzer{
+	Name: "payloadown",
+	Doc:  "forbid reading a payload buffer after a transport Send or pool Put transferred its ownership",
+	Run:  runPayloadOwn,
+}
+
+// transferKind distinguishes what was handed over.
+type transfer struct {
+	end     token.Pos // taint begins after the transferring call
+	obj     types.Object
+	payload bool // taint obj.Payload only, not obj itself
+	verb    string
+	line    int
+}
+
+func runPayloadOwn(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkOwnershipScope(p, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkOwnershipScope(p, n.Body)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// checkOwnershipScope runs the positional ownership analysis over one
+// function body, skipping nested function literals (they get their own
+// scope — a goroutine body does not execute at its textual position).
+func checkOwnershipScope(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	var transfers []transfer
+
+	// Pass 1: find the transfer points.
+	inspectScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if obj, payload, verb, ok := transferredBuffer(info, call); ok {
+			transfers = append(transfers, transfer{
+				end: call.End(), obj: obj, payload: payload, verb: verb,
+				line: p.Pkg.Fset.Position(call.Pos()).Line,
+			})
+		}
+	})
+	if len(transfers) == 0 {
+		return
+	}
+
+	// Pass 2: re-arm points — a plain assignment to the variable or its
+	// .Payload field ends the taint from that position on.
+	type rearm struct {
+		pos     token.Pos
+		obj     types.Object
+		payload bool
+	}
+	var rearms []rearm
+	inspectScope(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				if obj := lhsObj(info, l); obj != nil {
+					rearms = append(rearms, rearm{as.End(), obj, false})
+				}
+			case *ast.SelectorExpr:
+				if l.Sel.Name == "Payload" {
+					if id, ok := l.X.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							rearms = append(rearms, rearm{as.End(), obj, true})
+						}
+					}
+				}
+			}
+		}
+	})
+
+	armed := func(t transfer, pos token.Pos) bool {
+		if pos <= t.end {
+			return false
+		}
+		for _, r := range rearms {
+			if r.obj != t.obj || r.pos <= t.end || r.pos > pos {
+				continue
+			}
+			// Reassigning the whole variable clears both taints;
+			// reassigning .Payload only clears a payload taint.
+			if !r.payload || t.payload {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Pass 3: flag reads of tainted buffers. Reads inside len/cap and the
+	// left side of assignments are not data accesses.
+	inspectScope(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// m.Payload read after Send(m).
+			id, ok := n.X.(*ast.Ident)
+			if !ok || n.Sel.Name != "Payload" {
+				return
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return
+			}
+			for _, t := range transfers {
+				if t.obj == obj && t.payload && armed(t, n.Pos()) {
+					p.Reportf(n.Pos(), "%s.Payload read after %s transferred it to the transport on line %d; the pool may already be recycling the buffer", id.Name, t.verb, t.line)
+					return
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if obj == nil {
+				return
+			}
+			for _, t := range transfers {
+				if t.obj == obj && !t.payload && armed(t, n.Pos()) {
+					p.Reportf(n.Pos(), "%s used after %s transferred its ownership on line %d; the pool may already be recycling the buffer", n.Name, t.verb, t.line)
+					return
+				}
+			}
+		}
+	})
+}
+
+// inspectScope walks the block but does not descend into nested function
+// literals, and skips identifier occurrences that are only assignment
+// targets or len/cap arguments (callers handle re-arms separately).
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// Visit the statement itself and RHS values; LHS targets are
+			// writes, not reads.
+			visit(n)
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false
+					}
+					visit(m)
+					return true
+				})
+			}
+			// Index/selector expressions inside LHS still read the root
+			// (m.Payload[0] = x reads the buffer): visit everything below
+			// the top-level target identifier/selector.
+			for _, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					// Pure rebind: not a read.
+				case *ast.SelectorExpr:
+					if _, ok := l.X.(*ast.Ident); !ok {
+						ast.Inspect(l.X, func(m ast.Node) bool { visit(m); return true })
+					}
+				default:
+					ast.Inspect(l, func(m ast.Node) bool { visit(m); return true })
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				// Slice headers are values: len/cap of a transferred
+				// buffer touch no pooled bytes.
+				return false
+			}
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func lhsObj(info *types.Info, id *ast.Ident) types.Object {
+	if id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// transferredBuffer recognizes ownership-transferring calls and returns
+// the tainted variable. payload=true means only obj.Payload was handed
+// over (Send of a whole message); payload=false taints the buffer
+// variable itself.
+func transferredBuffer(info *types.Info, call *ast.CallExpr) (obj types.Object, payload bool, verb string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	name := ""
+	if isSel {
+		name = sel.Sel.Name
+	} else if id, isID := call.Fun.(*ast.Ident); isID {
+		name = id.Name
+	}
+	switch name {
+	case "Send":
+		if len(call.Args) != 1 || !isTransportMessage(info, call.Args[0]) {
+			return nil, false, "", false
+		}
+		switch arg := call.Args[0].(type) {
+		case *ast.Ident:
+			if o := info.Uses[arg]; o != nil {
+				return o, true, "Send", true
+			}
+		case *ast.CompositeLit:
+			for _, el := range arg.Elts {
+				kv, isKV := el.(*ast.KeyValueExpr)
+				if !isKV {
+					continue
+				}
+				if key, isID := kv.Key.(*ast.Ident); isID && key.Name == "Payload" {
+					if vid, isID := kv.Value.(*ast.Ident); isID {
+						if o := info.Uses[vid]; o != nil {
+							return o, false, "Send", true
+						}
+					}
+				}
+			}
+		}
+	case "Put", "PutPayload", "RecyclePayload":
+		argIdx := 0
+		if name == "RecyclePayload" {
+			if len(call.Args) != 2 {
+				return nil, false, "", false
+			}
+			argIdx = 1
+		} else if len(call.Args) != 1 {
+			return nil, false, "", false
+		}
+		if !looksLikePoolPut(info, call, isSel, sel) {
+			return nil, false, "", false
+		}
+		switch arg := call.Args[argIdx].(type) {
+		case *ast.Ident:
+			if o := info.Uses[arg]; o != nil {
+				return o, false, name, true
+			}
+		case *ast.SelectorExpr:
+			if arg.Sel.Name == "Payload" {
+				if id, isID := arg.X.(*ast.Ident); isID {
+					if o := info.Uses[id]; o != nil {
+						return o, true, name, true
+					}
+				}
+			}
+		}
+	}
+	return nil, false, "", false
+}
+
+// isTransportMessage reports whether the expression's static type is the
+// transport package's Message (the runtime aliases Chunk to it). Without
+// type information the call is conservatively accepted — fixtures and
+// partially-checked packages still get coverage.
+func isTransportMessage(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Message" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/transport")
+}
+
+// looksLikePoolPut keeps Put from matching arbitrary APIs: the receiver
+// (or function) must come from the transport package or be a *Pool.
+func looksLikePoolPut(info *types.Info, call *ast.CallExpr, isSel bool, sel *ast.SelectorExpr) bool {
+	var obj types.Object
+	if isSel {
+		obj = info.Uses[sel.Sel]
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		obj = info.Uses[id]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj == nil // no type info: accept
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/transport")
+}

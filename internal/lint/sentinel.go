@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Sentinel polices the wire's control-frame space. Volume values <= -2 are
+// control verbs (heartbeats today, more tomorrow); scattering the raw
+// literals across comparison and construction sites is how the seed ended
+// up with a chunkKey{-100, si, 0} sentinel colliding with a legitimate id.
+// Every control value must be a named constant, and the constants
+// themselves must live in a file named sentinels.go (transport owns the
+// wire-level names, runtime aliases them), so the whole verb space is
+// auditable in one place.
+//
+// Flagged:
+//   - integer literals <= -2 assigned to or compared with a Volume field
+//     (composite literals, assignments, comparisons, switch cases);
+//   - const/var declarations binding a literal <= -2 to a sentinel-ish
+//     name outside a sentinels.go file (test files may declare their own
+//     named verbs — the point is no raw literal at use sites).
+var Sentinel = &Analyzer{
+	Name: "sentinel",
+	Doc:  "forbid raw control-frame literals (<= -2) outside the sentinels.go constant files",
+	Run:  runSentinel,
+}
+
+// volumeFieldNames are the field/variable names that carry wire volume
+// ids. chunkKey's lower-case field rides along.
+var volumeFieldNames = map[string]bool{"Volume": true, "volume": true}
+
+var sentinelNameRe = regexp.MustCompile(`(?i)(vol|heartbeat|image|img|sentinel|frame|verb)`)
+
+//distlint:allow sentinel -- the analyzer's own threshold, not a wire verb
+const sentinelLimit = -2
+
+func runSentinel(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		file := p.Pkg.Fset.Position(f.Pos()).Filename
+		base := filepath.Base(file)
+		if base == "sentinels.go" {
+			continue
+		}
+		isTest := strings.HasSuffix(base, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkSentinelComposite(p, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) && isVolumeExpr(lhs) {
+						reportSentinelLit(p, n.Rhs[i], "assigned to "+volumeName(lhs))
+					}
+				}
+			case *ast.BinaryExpr:
+				checkSentinelCompare(p, n)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(p, n)
+			case *ast.ValueSpec:
+				if !isTest {
+					checkSentinelDecl(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelComposite flags Volume fields built from raw literals, in
+// both keyed (Chunk{Volume: -2}) and positional (chunkKey{-100, si, 0})
+// composite literals.
+func checkSentinelComposite(p *Pass, cl *ast.CompositeLit) {
+	var fields *types.Struct
+	if tv, ok := p.Pkg.Info.Types[cl]; ok && tv.Type != nil {
+		if st, ok := tv.Type.Underlying().(*types.Struct); ok {
+			fields = st
+		}
+	}
+	for i, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && volumeFieldNames[key.Name] {
+				reportSentinelLit(p, kv.Value, "assigned to field "+key.Name)
+			}
+			continue
+		}
+		// Positional literal: resolve the field name from the type.
+		if fields != nil && i < fields.NumFields() && volumeFieldNames[fields.Field(i).Name()] {
+			reportSentinelLit(p, el, "assigned to field "+fields.Field(i).Name())
+		}
+	}
+}
+
+func checkSentinelCompare(p *Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	if isVolumeExpr(b.X) {
+		reportSentinelLit(p, b.Y, "compared with "+volumeName(b.X))
+	}
+	if isVolumeExpr(b.Y) {
+		reportSentinelLit(p, b.X, "compared with "+volumeName(b.Y))
+	}
+}
+
+func checkSentinelSwitch(p *Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isVolumeExpr(s.Tag) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			reportSentinelLit(p, e, "switched on "+volumeName(s.Tag))
+		}
+	}
+}
+
+// checkSentinelDecl keeps the named constants themselves in sentinels.go:
+// a -2 bound to heartbeatVolume in any other file is still a scattered
+// definition of the wire protocol.
+func checkSentinelDecl(p *Pass, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) || !sentinelNameRe.MatchString(name.Name) {
+			continue
+		}
+		if v, ok := litInt(vs.Values[i]); ok && v <= sentinelLimit {
+			p.Reportf(vs.Values[i].Pos(), "control-frame sentinel %s = %d declared outside a sentinels.go file; wire verbs must be defined in one auditable place", name.Name, v)
+		}
+	}
+}
+
+func reportSentinelLit(p *Pass, e ast.Expr, context string) {
+	if v, ok := litInt(e); ok && v <= sentinelLimit {
+		p.Reportf(e.Pos(), "raw control-frame literal %d %s; use the named sentinel from sentinels.go (heartbeats, future verbs) so the verb space stays auditable", v, context)
+	}
+}
+
+func isVolumeExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return volumeFieldNames[e.Name]
+	case *ast.SelectorExpr:
+		return volumeFieldNames[e.Sel.Name]
+	}
+	return false
+}
+
+func volumeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "volume"
+}

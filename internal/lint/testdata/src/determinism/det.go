@@ -1,0 +1,70 @@
+// Package det exercises the determinism analyzer: wall-clock reads, the
+// global math/rand source and order-sensitive map iteration are flagged;
+// seeded sources, constructors and the sorted-keys idiom pass.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timing() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the process-wide source`
+}
+
+func GlobalFloat() float64 {
+	return rand.Float64() // want `global rand\.Float64 draws from the process-wide source`
+}
+
+func SeededDraw(r *rand.Rand) int {
+	return r.Intn(10) // seeded source: allowed
+}
+
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors: allowed
+}
+
+func FoldUnsorted(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration folds a float`
+	}
+	return sum
+}
+
+func ConcatUnsorted(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `map iteration folds a string`
+	}
+	return s
+}
+
+func AppendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `map iteration appends the map value`
+	}
+	return out
+}
+
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes: allowed
+	}
+	return n
+}
+
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // key-only append: the sorted-iteration idiom
+	}
+	return keys
+}

@@ -1,0 +1,72 @@
+// Package lc exercises the lock-discipline analyzer: accesses to fields
+// annotated `guarded by <mu>` must hold the lock in methods of the owning
+// struct; deferred unlocks, early-exit unlocks and RWMutex read locks all
+// count as holding.
+package lc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by missing; want `names no sync\.Mutex/RWMutex field of counter`
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `c\.n \(guarded by mu\) accessed in Bad without holding mu`
+}
+
+func (c *counter) EarlyExit(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n // the early-exit unlock above does not end this critical section
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `accessed in AfterUnlock without holding mu`
+}
+
+func (c *counter) Goroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `accessed in Goroutine \(func literal\) without holding mu`
+	}()
+}
+
+func (c *counter) Snapshot() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  float64 // guarded by rw
+}
+
+func (g *gauge) Read() float64 {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+func (g *gauge) Write(x float64) {
+	g.rw.Lock()
+	g.v = x
+	g.rw.Unlock()
+}

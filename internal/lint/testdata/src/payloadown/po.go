@@ -1,0 +1,55 @@
+// Package po exercises the payload-ownership analyzer: reads after a
+// transport Send or pool Put are flagged; len/cap, re-armed buffers,
+// separate goroutine scopes and justified allow directives pass.
+package po
+
+import "distredge/internal/transport"
+
+func SendThenRead(conn transport.Conn, m transport.Message) byte {
+	_ = conn.Send(m)
+	return m.Payload[0] // want `m\.Payload read after Send`
+}
+
+func SendThenLen(conn transport.Conn, m transport.Message) int {
+	_ = conn.Send(m)
+	return len(m.Payload) // slice header is a value: allowed
+}
+
+func SendBufThenRead(conn transport.Conn, b []byte) byte {
+	_ = conn.Send(transport.Message{Image: 1, Payload: b})
+	return b[0] // want `b used after Send`
+}
+
+func SendThenRearm(conn transport.Conn, p *transport.Pool, m transport.Message) byte {
+	_ = conn.Send(m)
+	m.Payload = p.Get(16)
+	return m.Payload[0] // reassigned: ownership is fresh
+}
+
+func PutThenRead(p *transport.Pool, b []byte) byte {
+	p.Put(b)
+	return b[0] // want `b used after Put`
+}
+
+func RecycleThenRead(p *transport.Pool, m transport.Message) byte {
+	transport.RecyclePayload(p, m.Payload)
+	return m.Payload[0] // want `m\.Payload read after RecyclePayload`
+}
+
+func GoroutineScope(conn transport.Conn, m transport.Message) byte {
+	go func() {
+		_ = conn.Send(m)
+	}()
+	return m.Payload[0] // separate scope: the positional model stops at func literals
+}
+
+func Suppressed(conn transport.Conn, m transport.Message) byte {
+	_ = conn.Send(m)
+	//distlint:allow payloadown -- fixture pins that a justified directive suppresses the report
+	return m.Payload[0]
+}
+
+func BareDirective(conn transport.Conn, m transport.Message) error {
+	//distlint:allow payloadown // want `allow directive needs a justification`
+	return conn.Send(m)
+}

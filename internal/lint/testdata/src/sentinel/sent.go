@@ -1,0 +1,52 @@
+// Package sent exercises the control-frame sentinel analyzer: raw
+// literals <= -2 against Volume fields are flagged at construction,
+// assignment, comparison and switch sites, as are sentinel-named constant
+// declarations outside sentinels.go; named constants and the -1 input
+// marker pass.
+package sent
+
+type Message struct {
+	Image  uint32
+	Volume int32
+}
+
+type chunkKey struct {
+	volume int32
+	lo, hi int32
+}
+
+const volHeartbeat = -2 // want `control-frame sentinel volHeartbeat = -2 declared outside`
+
+func MakeHeartbeat() Message {
+	return Message{Volume: -2} // want `raw control-frame literal -2`
+}
+
+func MakeInput() Message {
+	return Message{Volume: -1} // the input marker is not a control verb
+}
+
+func MakeNamed() Message {
+	return Message{Volume: volHeartbeat} // named constant: allowed
+}
+
+func PositionalKey() chunkKey {
+	return chunkKey{-100, 0, 0} // want `raw control-frame literal -100`
+}
+
+func IsControl(m Message) bool {
+	return m.Volume <= -2 // want `raw control-frame literal -2`
+}
+
+func SetVerb(m *Message) {
+	m.Volume = -3 // want `raw control-frame literal -3`
+}
+
+func Dispatch(m Message) int {
+	switch m.Volume {
+	case -2: // want `raw control-frame literal -2`
+		return 1
+	case volGoodbye: // named constant from sentinels.go: allowed
+		return 2
+	}
+	return 0
+}

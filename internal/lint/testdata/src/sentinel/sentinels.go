@@ -1,0 +1,5 @@
+package sent
+
+// A sentinels.go file owns the verb space: declarations here are exempt
+// from the outside-sentinels.go declaration rule.
+const volGoodbye = -3

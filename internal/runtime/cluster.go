@@ -47,8 +47,8 @@ type workItem struct {
 type workQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []workItem
-	closed bool
+	items  []workItem // guarded by mu
+	closed bool       // guarded by mu
 }
 
 func newWorkQueue() *workQueue {
@@ -138,8 +138,8 @@ type Provider struct {
 	tr    transport.Transport
 	ln    transport.Listener
 
-	peers     map[int]transport.Conn // lazily dialled outbound links
-	peerAddrs map[int]string
+	peers     map[int]transport.Conn // guarded by peerMu; lazily dialled outbound links
+	peerAddrs map[int]string         // guarded by peerMu
 	peerMu    sync.Mutex
 
 	inbox  chan Chunk
@@ -147,8 +147,8 @@ type Provider struct {
 	outbox chan outMsg
 
 	mu     sync.Mutex
-	images map[uint32]*imageState // in-flight image -> assembly state
-	minImg uint32                 // images below this are gc'ed; late chunks dropped
+	images map[uint32]*imageState // guarded by mu; in-flight image -> assembly state
+	minImg uint32                 // guarded by mu; images below this are gc'ed; late chunks dropped
 
 	hb     time.Duration // heartbeat period; 0 = disabled
 	batch  int           // per-step image batching cap; <= 1 disables

@@ -6,12 +6,6 @@ import (
 	"time"
 )
 
-// heartbeatVolume marks a liveness beat on a provider's result link. Beats
-// reuse the Chunk framing (Image = provider index, Lo = deployment epoch)
-// so liveness rides the same TCP path as real results: a provider whose
-// result link is wedged is, for serving purposes, dead.
-const heartbeatVolume int32 = -2
-
 // healthMonitor is the requester-side failure detector: it tracks the last
 // beat seen per provider and declares a provider dead once no beat has
 // arrived for HeartbeatMisses intervals (plus half an interval of grace).
@@ -23,9 +17,9 @@ type healthMonitor struct {
 	threshold time.Duration
 
 	mu    sync.Mutex
-	epoch int
-	last  []time.Time // zero = unwatched
-	dead  []bool
+	epoch int         // guarded by mu
+	last  []time.Time // guarded by mu; zero = unwatched
+	dead  []bool      // guarded by mu
 
 	stop     chan struct{}
 	stopOnce sync.Once

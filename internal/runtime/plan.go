@@ -216,8 +216,8 @@ func BuildPlan(env *sim.Env, strat *strategy.Strategy, opts Options) (*Plan, err
 			}
 			in := ins[v][i]
 			if v == 0 {
-				st.Needs = append(st.Needs, Need{Volume: -1, Lo: in.Lo, Hi: in.Hi})
-				plan.Scatter = append(plan.Scatter, Need{Volume: -1, Lo: in.Lo, Hi: in.Hi})
+				st.Needs = append(st.Needs, Need{Volume: volInput, Lo: in.Lo, Hi: in.Hi})
+				plan.Scatter = append(plan.Scatter, Need{Volume: volInput, Lo: in.Lo, Hi: in.Hi})
 				plan.ScatterDest = append(plan.ScatterDest, i)
 			} else {
 				for j := 0; j < n; j++ {

@@ -21,23 +21,23 @@ type Cluster struct {
 	// providers is indexed by provider index (nil = quarantined), alive is
 	// the liveness mask re-planning runs against.
 	provMu    sync.Mutex
-	strat     *strategy.Strategy
-	plan      *Plan
-	providers []*Provider
-	alive     []bool
+	strat     *strategy.Strategy // guarded by provMu
+	plan      *Plan              // guarded by provMu
+	providers []*Provider        // guarded by provMu
+	alive     []bool             // guarded by provMu
 
 	tr      transport.Transport
 	ln      transport.Listener
 	resMu   sync.Mutex
-	pending map[uint32]map[chunkKey]bool
-	arrived map[uint32]chan struct{}
+	pending map[uint32]map[chunkKey]bool // guarded by resMu
+	arrived map[uint32]chan struct{}     // guarded by resMu
 	// completed / gcLow implement the window-aware gc watermark: provider
 	// state is dropped only below the lowest image that has not completed.
-	completed map[uint32]bool
-	gcLow     uint32
-	nextImg   uint32 // monotonic across runs, so image ids are never reused
+	completed map[uint32]bool // guarded by resMu
+	gcLow     uint32          // guarded by resMu
+	nextImg   uint32          // guarded by resMu; monotonic across runs, so image ids are never reused
 
-	links  map[int]transport.Conn
+	links  map[int]transport.Conn // guarded by linkMu
 	linkMu sync.Mutex
 	done   chan struct{}
 	closed sync.Once
@@ -48,10 +48,10 @@ type Cluster struct {
 	// epoch with a fresh channel, and reports stamped with an older epoch
 	// (a torn-down provider's dying gasp) are ignored.
 	failMu  sync.Mutex
-	epoch   int
-	failed  chan struct{}
-	failErr error
-	failIdx int // suspected dead provider, -1 unknown
+	epoch   int           // guarded by failMu
+	failed  chan struct{} // guarded by failMu
+	failErr error         // guarded by failMu
+	failIdx int           // guarded by failMu; suspected dead provider, -1 unknown
 }
 
 // Deploy builds the plan for a strategy and starts one provider per device
@@ -226,11 +226,14 @@ func (c *Cluster) acceptResults() {
 // register allocates the next image id and arms its completion tracking.
 func (c *Cluster) register() (uint32, chan struct{}) {
 	done := make(chan struct{})
+	c.provMu.Lock()
+	plan := c.plan // recovery swaps the plan wholesale; snapshot the pointer
+	c.provMu.Unlock()
 	c.resMu.Lock()
 	c.nextImg++
 	img := c.nextImg
-	m := make(map[chunkKey]bool, len(c.plan.Await))
-	for _, a := range c.plan.Await {
+	m := make(map[chunkKey]bool, len(plan.Await))
+	for _, a := range plan.Await {
 		m[chunkKey{a.Volume, a.Lo, a.Hi}] = true
 	}
 	c.pending[img] = m
@@ -270,17 +273,20 @@ func (c *Cluster) complete(img uint32) {
 // scatter is attributed to its destination provider so recovery can
 // quarantine it.
 func (c *Cluster) sendInput(img uint32) error {
+	c.provMu.Lock()
+	plan := c.plan // recovery swaps the plan wholesale; snapshot the pointer
+	c.provMu.Unlock()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	firstErr, firstDest := error(nil), -1
-	for k, need := range c.plan.Scatter {
-		dest := c.plan.ScatterDest[k]
+	for k, need := range plan.Scatter {
+		dest := plan.ScatterDest[k]
 		ch := Chunk{
 			Image:   img,
-			Volume:  -1,
+			Volume:  volInput,
 			Lo:      int32(need.Lo),
 			Hi:      int32(need.Hi),
-			Payload: transport.GetPayload(c.tr, (need.Hi-need.Lo)*c.plan.InputRowBytes),
+			Payload: transport.GetPayload(c.tr, (need.Hi-need.Lo)*plan.InputRowBytes),
 		}
 		fillActivation(ch.Payload, img^uint32(need.Lo)<<16)
 		wg.Add(1)

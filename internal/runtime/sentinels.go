@@ -1,0 +1,22 @@
+package runtime
+
+import "distredge/internal/transport"
+
+// Runtime aliases of the wire-level Volume sentinels. The transport owns
+// the names (see internal/transport/sentinels.go); the runtime re-exports
+// them at the types its Chunk fields use so call sites never spell the raw
+// values. distlint's sentinel analyzer enforces this: integer literals
+// <= -2 against Volume fields are rejected outside sentinels.go files.
+// Both stay untyped so they fit Chunk.Volume (int32) and Need.Volume (int)
+// alike.
+const (
+	// volInput marks a chunk carrying input-image rows.
+	volInput = transport.VolInput
+
+	// heartbeatVolume marks a liveness beat on a provider's result link.
+	// Beats reuse the Chunk framing (Image = provider index, Lo =
+	// deployment epoch) so liveness rides the same TCP path as real
+	// results: a provider whose result link is wedged is, for serving
+	// purposes, dead.
+	heartbeatVolume = transport.VolHeartbeat
+)

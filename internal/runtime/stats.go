@@ -25,7 +25,7 @@ type ProviderStats struct {
 // concurrent use by the three worker goroutines.
 type statsRecorder struct {
 	mu    sync.Mutex
-	stats ProviderStats
+	stats ProviderStats // guarded by mu
 }
 
 // addComputeBatch records one compute invocation covering n step instances

@@ -48,8 +48,8 @@ type Env struct {
 	NoCache bool
 
 	mu       sync.Mutex
-	devCache *device.Cache
-	plans    map[*strategy.Strategy]*CompiledPlan
+	devCache *device.Cache                        // guarded by mu
+	plans    map[*strategy.Strategy]*CompiledPlan // guarded by mu
 }
 
 // WithDevices returns a copy of the environment whose devices are replaced

@@ -21,8 +21,8 @@ const inprocBuffer = 256
 // -race.
 type Inproc struct {
 	mu        sync.Mutex
-	listeners map[string]*inprocListener
-	next      int
+	listeners map[string]*inprocListener // guarded by mu
+	next      int                        // guarded by mu
 	pool      *Pool
 }
 
@@ -96,8 +96,8 @@ type inprocListener struct {
 	done    chan struct{}
 
 	mu       sync.Mutex
-	accepted []*inprocConn
-	closed   bool
+	accepted []*inprocConn // guarded by mu
+	closed   bool          // guarded by mu
 }
 
 func (l *inprocListener) Accept() (Conn, error) {

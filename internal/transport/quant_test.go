@@ -171,10 +171,13 @@ func TestQuantControlAndEmptyPassThrough(t *testing.T) {
 		codec := Quant(mode, nil)
 		enc := codec.NewEncoder(&buf)
 		dec := codec.NewDecoder(&buf)
+		// A verb below today's sentinel space: quant must pass any future
+		// control frame through unquantized, not just heartbeats.
+		const volFutureVerb = VolHeartbeat - 1
 		msgs := []Message{
-			{Image: 3, Volume: -2, Lo: 5}, // heartbeat
+			{Image: 3, Volume: VolHeartbeat, Lo: 5},
 			{Image: 9, Volume: 2, Lo: 1, Hi: 4},
-			{Image: 1, Volume: -3, Lo: 0, Hi: 0, Payload: []byte("verb")}, // control w/ payload
+			{Image: 1, Volume: volFutureVerb, Lo: 0, Hi: 0, Payload: []byte("verb")}, // control w/ payload
 		}
 		for _, m := range msgs {
 			if err := enc.Encode(&m); err != nil {

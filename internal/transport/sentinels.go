@@ -1,0 +1,18 @@
+package transport
+
+// Wire-level Volume sentinels. Non-negative Volume values are data
+// generations; VolInput marks the input image; anything below VolInput is a
+// control verb. Every control value used anywhere in the module must be
+// named here (or aliased from here) — distlint's sentinel analyzer rejects
+// raw literals <= -2 at use sites so the verb space stays auditable in this
+// one file.
+const (
+	// VolInput marks a chunk carrying rows of the input image rather than
+	// an intermediate volume.
+	VolInput = -1
+
+	// VolHeartbeat marks a liveness beat on a provider's result link.
+	// Beats reuse the chunk framing (Image = provider index, Lo =
+	// deployment epoch) so liveness rides the same path as real results.
+	VolHeartbeat = -2
+)

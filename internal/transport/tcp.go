@@ -75,8 +75,8 @@ type tcpListener struct {
 	pool  *Pool
 
 	mu       sync.Mutex
-	accepted []*tcpConn
-	closed   bool
+	accepted []*tcpConn // guarded by mu
+	closed   bool       // guarded by mu
 }
 
 func (l *tcpListener) Accept() (Conn, error) {

@@ -25,8 +25,9 @@ import (
 const Requester = -1
 
 // Message is the framed wire unit: rows [Lo,Hi) of generation Volume
-// (-1 = the input image, more negative values are control messages such as
-// heartbeats) for one image. Payload carries the activation bytes.
+// (VolInput = the input image, more negative values are control messages
+// such as heartbeats; see sentinels.go) for one image. Payload carries the
+// activation bytes.
 type Message struct {
 	Image   uint32
 	Volume  int32
@@ -38,7 +39,7 @@ type Message struct {
 // future verbs) rather than a data chunk. Codecs keep control messages on
 // the flexible gob path and reserve the fixed binary framing for the hot
 // data path.
-func (m *Message) control() bool { return m.Volume < -1 }
+func (m *Message) control() bool { return m.Volume < VolInput }
 
 // Conn is one directed framed connection. Send is safe for concurrent use;
 // Recv must be called from a single reader goroutine. Closing either end

@@ -37,8 +37,8 @@ func TestCodecRoundtrip(t *testing.T) {
 			msgs := []Message{
 				testMessage(1024),
 				testMessage(0),
-				{Image: 2, Volume: -2, Lo: 5}, // heartbeat-shaped control message
-				{Image: 9, Volume: -1, Lo: 0, Hi: 3, Payload: []byte{1, 2, 3}},
+				{Image: 2, Volume: VolHeartbeat, Lo: 5}, // heartbeat-shaped control message
+				{Image: 9, Volume: VolInput, Lo: 0, Hi: 3, Payload: []byte{1, 2, 3}},
 			}
 			for _, want := range msgs {
 				if err := enc.Encode(&want); err != nil {
@@ -280,7 +280,7 @@ func TestShapedChargesTraceLatency(t *testing.T) {
 	}
 
 	start = time.Now()
-	if err := conn.Send(Message{Volume: -2}); err != nil { // heartbeat: free
+	if err := conn.Send(Message{Volume: VolHeartbeat}); err != nil { // heartbeat: free
 		t.Fatal(err)
 	}
 	if e := time.Since(start); e > time.Duration(0.5*want*float64(time.Second)) {
