@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn', 'fidelity' or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn', 'objective', 'gateway', 'fidelity' or 'all'")
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
@@ -46,8 +46,10 @@ func main() {
 	batchesSpec := flag.String("batches", "1,4", "for -fig fidelity: step-batching caps of the grid")
 	codecsSpec := flag.String("codecs", "binary,quant,quant+deflate", "for -fig fidelity: chunk codecs of the grid (binary|deflate|quant|quant16|quant+deflate)")
 	trace := flag.Bool("trace", false, "for -fig fidelity: only the trace-shaped wire regime (skip the free-wire rows)")
-	objectiveSpec := flag.String("objective", "", "for -fig fidelity: deploy a strategy planned with this objective (latency|ips) instead of the CoEdge baseline")
+	objectiveSpec := flag.String("objective", "", "for -fig fidelity: deploy a strategy planned with this objective (latency|ips|slo) instead of the CoEdge baseline")
 	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for (-fig objective and -objective ips)")
+	tenantsSpec := flag.String("tenants", "heavy:24x1,small:4x4", "for -fig gateway: tenant mix as name:IMAGESxWEIGHT,...")
+	sloMS := flag.Float64("slo", 0, "p95 latency bound in ms: marks -fig gateway rows and bounds -objective slo plans (model-scale ms)")
 	flag.Parse()
 
 	var b experiments.Budget
@@ -88,14 +90,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective"}
+	tenants, err := distredge.ParseTenants(*tenantsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -tenants %q: %v\n", *tenantsSpec, err)
+		os.Exit(2)
+	}
+
+	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective", "gateway"}
 	if *fig != "all" {
 		figs = []string{*fig}
 	}
 
 	for _, f := range figs {
 		start := time.Now()
-		if err := run(f, b, *reps, winSizes, failFracs, batches, codecs, *trace, *objectiveSpec, *objWindow); err != nil {
+		if err := run(f, b, *reps, winSizes, failFracs, batches, codecs, *trace, *objectiveSpec, *objWindow, tenants, *sloMS); err != nil {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -175,9 +183,36 @@ func codecTransportSpec(codec string) string {
 	return "tcp+" + codec
 }
 
-func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, batches []int, codecs []string, trace bool, objectiveSpec string, objWindow int) error {
+func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, batches []int, codecs []string, trace bool, objectiveSpec string, objWindow int, tenants []sim.TenantSpec, sloMS float64) error {
 	if fig == "fidelity" {
-		return fidelity(b, batches, codecs, trace, objectiveSpec, objWindow)
+		return fidelity(b, batches, codecs, trace, objectiveSpec, objWindow, sloMS)
+	}
+	if fig == "gateway" {
+		header("Gateway — multi-tenant admission: FIFO vs weighted fair queueing")
+		rows, err := experiments.FigGateway(b, tenants, objWindow, sloMS)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-6s %-8s %7s %7s %8s %9s %9s %5s\n",
+			"case", "policy", "tenant", "weight", "images", "IPS", "lat(ms)", "p95(ms)", "slo")
+		lastSeries := ""
+		for _, r := range rows {
+			series := r.Case + "/" + r.Policy
+			if series != lastSeries && lastSeries != "" {
+				fmt.Println()
+			}
+			lastSeries = series
+			slo := "ok"
+			if !r.SLOMet {
+				slo = "MISS"
+			}
+			if sloMS <= 0 {
+				slo = "-"
+			}
+			fmt.Printf("%-24s %-6s %-8s %7.1f %7d %8.2f %9.1f %9.1f %5s\n",
+				r.Case, r.Policy, r.Tenant, r.Weight, r.Images, r.IPS, r.MeanLatMS, r.P95LatMS, slo)
+		}
+		return nil
 	}
 	if fig == "objective" {
 		header("Objective — latency-optimal vs throughput-optimal (IPS) planner")
@@ -387,8 +422,11 @@ func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []
 // the transport charges the WiFi traces with post-codec byte accounting,
 // so quantizing codecs shorten the charged wire exactly as the
 // simulator's wire fraction predicts and measured/predicted should
-// approach 1.
-func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bool, objectiveSpec string, objWindow int) error {
+// approach 1. Each shaped cell runs the runtime first and predicts after:
+// deflate's wire fraction is data-dependent (statically charged 1), so the
+// prediction uses the compression ratio the cell's own codec measured —
+// calibrated rows are marked "*".
+func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bool, objectiveSpec string, objWindow int, sloMS float64) error {
 	header("Fidelity — sim prediction vs runtime measurement, {batch} x {codec} x {wire}")
 	// Low-bandwidth links make the prediction transfer-dominated, which is
 	// the term the transport choice actually controls; emulated-compute
@@ -415,6 +453,7 @@ func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bo
 			Effort:          distredge.EffortTiny,
 			Objective:       objective,
 			ObjectiveWindow: objWindow,
+			SLOP95MS:        sloMS,
 		})
 	}
 	if err != nil {
@@ -449,21 +488,14 @@ func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bo
 				if err != nil {
 					return err
 				}
-				// The prediction charges the codec's post-codec wire
-				// fraction only when the runtime's wire does too.
-				wireFrac := 1.0
-				if shaped {
-					if wc, ok := tr.(transport.WireCodec); ok {
-						wireFrac = transport.WireFrac(wc.WireCodec())
-					}
-				}
-				prep, err := sys.EvaluatePipelinedOpts(plan, simImages, window, k, wireFrac)
-				if err != nil {
-					return err
-				}
 				var rtObj sim.Objective
 				if objectiveSpec != "" {
-					rtObj, err = distredge.RuntimeObjective(objective, objWindow, k)
+					rtObj, err = distredge.RuntimeObjective(distredge.PlanConfig{
+						Objective:       objective,
+						ObjectiveWindow: objWindow,
+						ObjectiveBatch:  k,
+						SLOP95MS:        sloMS,
+					})
 					if err != nil {
 						return err
 					}
@@ -488,18 +520,47 @@ func fidelity(b experiments.Budget, batches []int, codecs []string, traceOnly bo
 				if runErr != nil {
 					return runErr
 				}
+				// The prediction charges the codec's post-codec wire
+				// fraction only when the runtime's wire does too — and the
+				// runtime already ran, so a deflate codec can contribute
+				// the compression ratio it measured on this very cell's
+				// traffic instead of the static conservative 1.
+				wireFrac := 1.0
+				calibrated := false
+				if shaped {
+					if wc, ok := tr.(transport.WireCodec); ok {
+						wireFrac, calibrated = transport.CalibratedWireFrac(wc.WireCodec())
+					}
+				}
+				prep, err := sys.EvaluatePipelinedOpts(plan, simImages, window, k, wireFrac)
+				if err != nil {
+					return err
+				}
+				label := codec
+				if calibrated && transport.WireFrac(mustWireCodec(tr)) != wireFrac {
+					label += "*"
+				}
 				modelIPS := stats.IPS * timeScale
 				modelLatMS := stats.MeanLatMS() / timeScale
 				fmt.Printf("%-7s %6d %-14s %9.2f %9.1f | %12.2f %12.1f | %9.2f\n",
-					regime, k, codec, prep.IPS, prep.MeanLatMS, modelIPS, modelLatMS, modelIPS/prep.IPS)
+					regime, k, label, prep.IPS, prep.MeanLatMS, modelIPS, modelLatMS, modelIPS/prep.IPS)
 			}
 		}
 		if !shaped {
 			fmt.Println()
 		}
 	}
-	fmt.Printf("(runtime numbers mapped to model scale: wall IPS x %g, wall latency / %g)\n", timeScale, timeScale)
+	fmt.Printf("(runtime numbers mapped to model scale: wall IPS x %g, wall latency / %g; * = wire fraction calibrated from the cell's measured deflate ratio)\n", timeScale, timeScale)
 	return nil
+}
+
+// mustWireCodec returns the transport's wire codec (the fidelity grid only
+// calls it on stacks that have one).
+func mustWireCodec(tr transport.Transport) transport.Codec {
+	if wc, ok := tr.(transport.WireCodec); ok {
+		return wc.WireCodec()
+	}
+	return transport.Binary()
 }
 
 func header(s string) {

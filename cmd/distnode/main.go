@@ -15,6 +15,14 @@
 //	distnode -model vgg16 -providers xavier:200,nano:200 -images 20 -timescale 0.1
 //	distnode -providers xavier:200,nano:200,tx2:200 -window 4 -recover -kill 1@0.5
 //	distnode -providers xavier:50,nano:50 -transport inproc -trace
+//	distnode -providers xavier:200,nano:200 -tenants heavy:24x1,small:4x4 -policy wfq -slo 2000
+//
+// With -tenants, the deployment serves through the multi-tenant gateway
+// instead of one pipelined stream: each tenant's backlog is enqueued up
+// front, the -policy flag picks FIFO or weighted fair queueing, -window
+// bounds the images in flight fleet-wide, and -slo (wall-clock ms) sets a
+// per-request enqueue-to-completion deadline. The run prints a per-tenant
+// outcome and latency summary.
 package main
 
 import (
@@ -26,7 +34,9 @@ import (
 	"time"
 
 	"distredge"
+	"distredge/internal/gateway"
 	"distredge/internal/runtime"
+	"distredge/internal/sim"
 )
 
 func main() {
@@ -37,8 +47,8 @@ func main() {
 	timescale := flag.Float64("timescale", 0.1, "compute emulation time scale (1.0 = full model latency)")
 	bytescale := flag.Float64("bytescale", 0.01, "payload byte scale (1.0 = full activation sizes)")
 	effort := flag.String("effort", "tiny", "planning effort: tiny|quick|full|paper")
-	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image) or ips (sustained pipelined throughput)")
-	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for")
+	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image), ips (sustained pipelined throughput) or slo (throughput under the -slo p95 bound)")
+	objWindow := flag.Int("objwindow", 4, "admission window the ips/slo objectives optimise for")
 	seed := flag.Int64("seed", 1, "random seed")
 	recover := flag.Bool("recover", false, "survive provider deaths: quarantine, re-plan over survivors, re-scatter in-flight images")
 	killSpec := flag.String("kill", "", "chaos injection: comma-separated dev@seconds provider kills (wall clock after the run starts), e.g. 1@0.5")
@@ -47,6 +57,9 @@ func main() {
 	trace := flag.Bool("trace", false, "shape the transport with the planned WiFi traces (charge trace latency per payload byte)")
 	postCodec := flag.Bool("postcodec", false, "with -trace: charge the bytes the codec puts on the wire instead of the raw payload (quant/deflate then shorten the shaped wire)")
 	batch := flag.Int("batch", 1, "step-batching cap: up to this many queued same-step images share one compute invocation (1 = off)")
+	tenantsSpec := flag.String("tenants", "", "serve through the multi-tenant gateway: comma-separated name:IMAGESxWEIGHT tenants (overrides -images)")
+	policy := flag.String("policy", "wfq", "with -tenants: admission policy across tenants (fifo|wfq)")
+	sloMS := flag.Float64("slo", 0, "p95 latency bound in wall-clock ms: per-request gateway deadline with -tenants, and the bound -objective slo plans under (0 = none)")
 	flag.Parse()
 
 	providers, err := distredge.ParseProviders(*provSpec)
@@ -61,10 +74,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tenants []sim.TenantSpec
+	if *tenantsSpec != "" {
+		tenants, err = distredge.ParseTenants(*tenantsSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	plan, err := sys.Plan(distredge.PlanConfig{
 		Effort:          distredge.Effort(*effort),
 		Objective:       objective,
 		ObjectiveWindow: *objWindow,
+		SLOP95MS:        *sloMS,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,7 +101,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rtObj, err := distredge.RuntimeObjective(objective, *objWindow, *batch)
+	rtObj, err := distredge.RuntimeObjective(distredge.PlanConfig{
+		Objective:       objective,
+		ObjectiveWindow: *objWindow,
+		ObjectiveBatch:  *batch,
+		SLOP95MS:        *sloMS,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -123,6 +149,13 @@ func main() {
 		defer timer.Stop()
 	}
 
+	if len(tenants) > 0 {
+		if err := serveTenants(cluster, tenants, *policy, *window, *sloMS); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	stats, runErr := cluster.RunPipelined(*images, *window)
 	fmt.Printf("streamed %d of %d images (window %d) in %.2fs — %.2f images/sec goodput\n",
 		stats.Completed, stats.Images, stats.Window, stats.TotalSec, stats.IPS)
@@ -141,6 +174,57 @@ func main() {
 	if runErr != nil {
 		fatal(runErr)
 	}
+}
+
+// serveTenants runs the multi-tenant gateway path: every tenant's backlog
+// is enqueued up front (the burst model the sim mirror sweeps), results are
+// drained, and the per-tenant summary printed.
+func serveTenants(cluster *runtime.Cluster, tenants []sim.TenantSpec, policy string, window int, sloMS float64) error {
+	cfgs := make([]gateway.TenantConfig, len(tenants))
+	for i, t := range tenants {
+		cfgs[i] = gateway.TenantConfig{
+			Name:     t.Name,
+			Weight:   t.Weight,
+			Deadline: time.Duration(sloMS * float64(time.Millisecond)),
+		}
+	}
+	g, err := gateway.New(cluster, gateway.Config{Window: window, Policy: policy}, cfgs)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var results []<-chan gateway.Result
+	for i, t := range tenants {
+		for j := 0; j < t.Images; j++ {
+			ch, err := g.Enqueue(t.Name)
+			if err != nil {
+				return fmt.Errorf("enqueue %s[%d]: %w", tenants[i].Name, j, err)
+			}
+			results = append(results, ch)
+		}
+	}
+	served := 0
+	for _, ch := range results {
+		if r := <-ch; r.Err == nil {
+			served++
+		}
+	}
+	total := time.Since(start).Seconds()
+	g.Close()
+	ips := 0.0
+	if total > 0 {
+		ips = float64(served) / total
+	}
+	fmt.Printf("gateway served %d of %d requests (policy %s, window %d) in %.2fs — %.2f images/sec\n",
+		served, len(results), policy, window, total, ips)
+	fmt.Printf("%-10s %8s %9s %5s %7s %6s %9s %9s %9s\n",
+		"tenant", "enqueued", "completed", "late", "expired", "failed", "lat(ms)", "p95(ms)", "max(ms)")
+	for _, s := range g.Summary() {
+		fmt.Printf("%-10s %8d %9d %5d %7d %6d %9.1f %9.1f %9.1f\n",
+			s.Tenant, s.Enqueued, s.Completed, s.Late, s.Expired, s.Failed,
+			s.MeanLatMS, s.P95LatMS, s.MaxLatMS)
+	}
+	return nil
 }
 
 type killAt struct {

@@ -26,8 +26,9 @@ func main() {
 		"comma-separated type:bandwidthMbps provider list")
 	alpha := flag.Float64("alpha", 0.75, "LC-PSS alpha (transmission/ops trade-off)")
 	effort := flag.String("effort", "quick", "planning effort: tiny|quick|full|paper")
-	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image) or ips (sustained pipelined throughput)")
-	objWindow := flag.Int("objwindow", 4, "admission window the ips objective optimises for")
+	objectiveSpec := flag.String("objective", "latency", "planning objective: latency (sequential single-image), ips (sustained pipelined throughput) or slo (throughput under the -slo p95 bound)")
+	objWindow := flag.Int("objwindow", 4, "admission window the ips/slo objectives optimise for")
+	sloMS := flag.Float64("slo", 0, "p95 latency bound in ms the slo objective plans under (0 = none)")
 	images := flag.Int("images", 500, "images to stream in the evaluation")
 	window := flag.Int("window", 1, "admission window: images kept in flight (1 = the paper's sequential protocol)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -84,6 +85,7 @@ func main() {
 			Effort:          distredge.Effort(*effort),
 			Objective:       objective,
 			ObjectiveWindow: *objWindow,
+			SLOP95MS:        *sloMS,
 		})
 		if err != nil {
 			fatal(err)
@@ -110,7 +112,7 @@ func main() {
 	// An ips-planned strategy is meant to be served pipelined: report the
 	// pipelined evaluation at its objective window even without -window.
 	pipeWindow := *window
-	if pipeWindow <= 1 && objective == distredge.ObjectiveIPS {
+	if pipeWindow <= 1 && (objective == distredge.ObjectiveIPS || objective == distredge.ObjectiveSLO) {
 		pipeWindow = *objWindow
 	}
 	if pipeWindow > 1 {
@@ -152,7 +154,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rtObj, err := distredge.RuntimeObjective(objective, *objWindow, *batch)
+		rtObj, err := distredge.RuntimeObjective(distredge.PlanConfig{
+			Objective:       objective,
+			ObjectiveWindow: *objWindow,
+			ObjectiveBatch:  *batch,
+			SLOP95MS:        *sloMS,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -82,6 +82,11 @@ const (
 	// ObjectiveIPS optimises sustained pipelined throughput: steady-state
 	// images/sec with PlanConfig.ObjectiveWindow images in flight.
 	ObjectiveIPS Objective = "ips"
+	// ObjectiveSLO optimises sustained pipelined throughput subject to a
+	// p95 admission-to-completion latency bound (PlanConfig.SLOP95MS): the
+	// serving gateway's planning goal. Plans whose predicted p95 violates
+	// the bound are penalised past any feasible plan's score.
+	ObjectiveSLO Objective = "slo"
 )
 
 // PlanConfig configures Plan.
@@ -102,6 +107,10 @@ type PlanConfig struct {
 	// planner optimises for the throughput the batched pipeline actually
 	// delivers.
 	ObjectiveBatch int
+	// SLOP95MS is the p95 admission-to-completion latency bound in
+	// milliseconds that ObjectiveSLO plans under. Required (positive) for
+	// ObjectiveSLO; ignored otherwise.
+	SLOP95MS float64
 }
 
 // simObjective resolves the config into the simulator's objective value
@@ -113,8 +122,13 @@ func (c PlanConfig) simObjective() (sim.Objective, error) {
 		return nil, nil
 	case ObjectiveIPS:
 		return sim.ThroughputObjective{Window: c.ObjectiveWindow, Batch: c.ObjectiveBatch}, nil
+	case ObjectiveSLO:
+		if !(c.SLOP95MS > 0) {
+			return nil, fmt.Errorf("distredge: objective %q needs a positive SLOP95MS bound, got %g", c.Objective, c.SLOP95MS)
+		}
+		return sim.SLOThroughputObjective{Window: c.ObjectiveWindow, Batch: c.ObjectiveBatch, P95Sec: c.SLOP95MS / 1e3}, nil
 	default:
-		return nil, fmt.Errorf("distredge: unknown objective %q (want latency|ips)", c.Objective)
+		return nil, fmt.Errorf("distredge: unknown objective %q (want latency|ips|slo)", c.Objective)
 	}
 }
 
@@ -328,13 +342,14 @@ func (s *System) Score(p *Plan, objective Objective, window int) (float64, error
 	return sim.DefaultObjective(obj).Score(s.env, p.Strategy, 0)
 }
 
-// RuntimeObjective resolves an Objective into the runtime.Options.Objective
+// RuntimeObjective resolves a PlanConfig into the runtime.Options.Objective
 // value, so a deployed cluster's recovery re-planner re-plans for the
-// objective being served (nil for the latency default). Batch is the
-// step-batching cap the cluster serves with (0 or 1 = no batching), so a
-// recovery re-plan keeps optimising for the batched pipeline.
-func RuntimeObjective(objective Objective, window, batch int) (sim.Objective, error) {
-	return PlanConfig{Objective: objective, ObjectiveWindow: window, ObjectiveBatch: batch}.simObjective()
+// objective being served (nil for the latency default). Set
+// cfg.ObjectiveBatch to the step-batching cap the cluster serves with (0
+// or 1 = no batching), so a recovery re-plan keeps optimising for the
+// batched pipeline, and cfg.SLOP95MS when serving under ObjectiveSLO.
+func RuntimeObjective(cfg PlanConfig) (sim.Objective, error) {
+	return cfg.simObjective()
 }
 
 // Deploy executes the plan on the real runtime with emulated compute (see

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"distredge/internal/sim"
+)
+
+func findGatewayRow(rows []GatewayRow, c, policy, tenant string) (GatewayRow, bool) {
+	for _, r := range rows {
+		if r.Case == c && r.Policy == policy && r.Tenant == tenant {
+			return r, true
+		}
+	}
+	return GatewayRow{}, false
+}
+
+// TestFigGatewaySmallTenantWins is the figure-level statement of the
+// tentpole's offline claim: on every sweep case, weighted fair queueing
+// buys the small high-weight tenant a strictly better p95 than FIFO.
+func TestFigGatewaySmallTenantWins(t *testing.T) {
+	rows, err := FigGateway(Tiny(), nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{}
+	for _, r := range rows {
+		cases[r.Case] = true
+		if !r.SLOMet {
+			t.Errorf("row %+v: with no bound every row trivially meets the SLO", r)
+		}
+	}
+	if len(cases) < 2 {
+		t.Fatalf("sweep covers %d case(s), want stable + dynamic", len(cases))
+	}
+	// Defaults: 2 cases x 2 policies x 2 tenants.
+	if want := len(cases) * 2 * 2; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for c := range cases {
+		fifo, ok1 := findGatewayRow(rows, c, sim.AdmitFIFO, "small")
+		wfq, ok2 := findGatewayRow(rows, c, sim.AdmitWFQ, "small")
+		if !ok1 || !ok2 {
+			t.Fatalf("case %s missing small-tenant rows", c)
+		}
+		t.Logf("%s small tenant p95: fifo %.1fms, wfq %.1fms", c, fifo.P95LatMS, wfq.P95LatMS)
+		if wfq.P95LatMS >= fifo.P95LatMS {
+			t.Errorf("case %s: wfq small p95 %.1fms does not beat fifo %.1fms", c, wfq.P95LatMS, fifo.P95LatMS)
+		}
+	}
+}
+
+// TestFigGatewaySLOMarking: a bound between the two policies' p95s marks
+// exactly the feasible rows.
+func TestFigGatewaySLOMarking(t *testing.T) {
+	rows, err := FigGateway(Tiny(), nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rows[0].Case
+	fifo, _ := findGatewayRow(rows, c, sim.AdmitFIFO, "small")
+	wfq, _ := findGatewayRow(rows, c, sim.AdmitWFQ, "small")
+	bound := (fifo.P95LatMS + wfq.P95LatMS) / 2
+	marked, err := FigGateway(Tiny(), nil, 0, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := findGatewayRow(marked, c, sim.AdmitFIFO, "small")
+	mw, _ := findGatewayRow(marked, c, sim.AdmitWFQ, "small")
+	if mf.SLOMet || !mw.SLOMet {
+		t.Errorf("bound %.1fms between the policies: fifo met=%v wfq met=%v, want false/true", bound, mf.SLOMet, mw.SLOMet)
+	}
+}
+
+// TestFigGatewayParallelDeterministic: rows are identical for any worker
+// count, like every other figure in the harness.
+func TestFigGatewayParallelDeterministic(t *testing.T) {
+	b1, b4 := Tiny(), Tiny()
+	b1.Parallel, b4.Parallel = 1, 4
+	r1, err := FigGateway(b1, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := FigGateway(b4, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r4) {
+		t.Fatalf("row counts differ: %d vs %d", len(r1), len(r4))
+	}
+	for i := range r1 {
+		if r1[i] != r4[i] {
+			t.Errorf("row %d differs across worker counts:\n  1: %+v\n  4: %+v", i, r1[i], r4[i])
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package gateway multiplexes many concurrent tenant request streams over
+// one deployed cluster. It is the serving front-end the paper's
+// one-requester protocol lacks: each tenant gets its own admission window,
+// weight and per-request deadline, a global window bounds the images in
+// flight on the fleet, and a scheduler picks the next request across
+// tenants by FIFO or weighted fair queueing — the same pick rule as
+// sim.MultiStreamOpts, so policies swept offline transfer unchanged.
+//
+// Deadlines are measured from enqueue, not scatter: a request that sat
+// queued behind a heavy tenant's burst and only then ran is late even
+// though its scatter-to-result time was fine. That is the latency an SLO
+// bounds, and the quantity the sim mirror distributes per tenant.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Backend is the shared-cluster admission surface the gateway drives;
+// *runtime.Cluster implements it (Submit is one image's
+// scatter-to-assembled-result round trip, safe for concurrent callers).
+type Backend interface {
+	Submit() error
+}
+
+// Admission policies. They mirror sim.AdmitFIFO / sim.AdmitWFQ exactly:
+// FIFO serves requests in global enqueue order; WFQ charges each admission
+// 1/Weight of virtual service and serves the tenant with the least.
+const (
+	PolicyFIFO = "fifo"
+	PolicyWFQ  = "wfq"
+)
+
+// ErrDeadlineExceeded reports a request that missed its tenant's deadline —
+// either expired in the queue before admission, or completed too late.
+var ErrDeadlineExceeded = errors.New("gateway: request deadline exceeded")
+
+// ErrClosed reports a request rejected or abandoned because the gateway
+// shut down.
+var ErrClosed = errors.New("gateway: closed")
+
+// ErrUnknownTenant reports an Enqueue for a tenant the gateway was not
+// configured with.
+var ErrUnknownTenant = errors.New("gateway: unknown tenant")
+
+// TenantConfig declares one tenant's admission contract.
+type TenantConfig struct {
+	Name string
+	// Weight is the tenant's fair-queueing share (<= 0 means 1); only
+	// PolicyWFQ consults it.
+	Weight float64
+	// Window caps the tenant's own in-flight requests (<= 0 means bounded
+	// only by the gateway's global window).
+	Window int
+	// Deadline bounds each request's enqueue-to-completion time (0 = none).
+	// Requests still queued past it are dropped without running; requests
+	// that complete past it report ErrDeadlineExceeded but still count
+	// their latency.
+	Deadline time.Duration
+}
+
+// Config parameterises a Gateway.
+type Config struct {
+	// Window is the global admission window: the maximum images in flight
+	// on the backend across all tenants. Must be >= 1.
+	Window int
+	// Policy is PolicyFIFO (default) or PolicyWFQ.
+	Policy string
+}
+
+// Result is the terminal outcome of one enqueued request.
+type Result struct {
+	Tenant string
+	// LatencyMS is enqueue-to-completion wall time; 0 when the request
+	// never reached the backend (queue-expired or gateway closed).
+	LatencyMS float64
+	Err       error
+}
+
+type request struct {
+	tenant  int
+	seq     uint64 // global enqueue order; the FIFO key
+	enqueue time.Time
+	res     chan Result // buffered(1); the caller's completion signal
+}
+
+// TenantSummary aggregates one tenant's outcomes since the gateway
+// started. Latency statistics cover requests the backend actually served
+// (including late ones); queue-expired requests count only in Expired.
+type TenantSummary struct {
+	Tenant    string
+	Enqueued  int
+	Completed int // served within deadline (or no deadline)
+	Late      int // served, but past deadline
+	Expired   int // dropped from the queue before admission
+	Failed    int // backend error or gateway closed
+	MeanLatMS float64
+	P95LatMS  float64
+	MaxLatMS  float64
+}
+
+// Gateway admits tenant requests into a Backend under a global window, a
+// per-tenant window, an admission policy, and per-request deadlines.
+type Gateway struct {
+	be      Backend
+	cfg     Config
+	tenants []TenantConfig
+	byName  map[string]int
+
+	mu       sync.Mutex
+	queues   [][]*request    // guarded by mu; per-tenant FIFO backlogs
+	inflight int             // guarded by mu; requests on the backend
+	tinfl    []int           // guarded by mu; per-tenant in-flight counts
+	vserved  []float64       // guarded by mu; WFQ virtual service charged
+	nextSeq  uint64          // guarded by mu; global enqueue order
+	served   [][]float64     // guarded by mu; latencies (sec) per tenant
+	counts   []TenantSummary // guarded by mu; running outcome counters
+	closed   bool            // guarded by mu
+
+	wake chan struct{} // buffered(1): kicks the scheduler
+	done chan struct{}
+	wg   sync.WaitGroup // scheduler + dispatched submits
+}
+
+// New starts a gateway over the backend. Tenant names must be unique and
+// non-empty.
+func New(be Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
+	if be == nil {
+		return nil, fmt.Errorf("gateway: nil backend")
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("gateway: window must be >= 1, got %d", cfg.Window)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyFIFO
+	}
+	if cfg.Policy != PolicyFIFO && cfg.Policy != PolicyWFQ {
+		return nil, fmt.Errorf("gateway: unknown policy %q (want %s|%s)", cfg.Policy, PolicyFIFO, PolicyWFQ)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("gateway: need at least one tenant")
+	}
+	g := &Gateway{
+		be:      be,
+		cfg:     cfg,
+		tenants: append([]TenantConfig(nil), tenants...),
+		byName:  make(map[string]int, len(tenants)),
+		queues:  make([][]*request, len(tenants)),
+		tinfl:   make([]int, len(tenants)),
+		vserved: make([]float64, len(tenants)),
+		served:  make([][]float64, len(tenants)),
+		counts:  make([]TenantSummary, len(tenants)),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	for i := range g.tenants {
+		t := &g.tenants[i]
+		if t.Name == "" {
+			return nil, fmt.Errorf("gateway: tenant %d has no name", i)
+		}
+		if _, dup := g.byName[t.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate tenant %q", t.Name)
+		}
+		g.byName[t.Name] = i
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		if t.Window <= 0 {
+			t.Window = cfg.Window
+		}
+		g.counts[i].Tenant = t.Name
+	}
+	g.wg.Add(1)
+	go g.schedule()
+	return g, nil
+}
+
+// Enqueue queues one request for the named tenant and returns the channel
+// its Result will be delivered on (buffered: the gateway never blocks on a
+// slow caller).
+func (g *Gateway) Enqueue(tenant string) (<-chan Result, error) {
+	t, ok := g.byName[tenant]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	r := &request{tenant: t, enqueue: time.Now(), res: make(chan Result, 1)}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.seq = g.nextSeq
+	g.nextSeq++
+	g.queues[t] = append(g.queues[t], r)
+	g.counts[t].Enqueued++
+	g.mu.Unlock()
+	g.kick()
+	return r.res, nil
+}
+
+func (g *Gateway) kick() {
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (g *Gateway) schedule() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-g.wake:
+		}
+		for g.dispatchOne() {
+		}
+	}
+}
+
+// dispatchOne expires dead queued requests, then admits at most one request
+// per the policy; it reports whether it admitted (the scheduler loops until
+// nothing is admissible).
+func (g *Gateway) dispatchOne() bool {
+	now := time.Now()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return false
+	}
+	g.expireLocked(now)
+	if g.inflight >= g.cfg.Window {
+		g.mu.Unlock()
+		return false
+	}
+	t := g.pickLocked()
+	if t < 0 {
+		g.mu.Unlock()
+		return false
+	}
+	r := g.queues[t][0]
+	g.queues[t] = g.queues[t][1:]
+	g.inflight++
+	g.tinfl[t]++
+	g.vserved[t] += 1 / g.tenants[t].Weight
+	g.mu.Unlock()
+
+	g.wg.Add(1)
+	go g.serve(r)
+	return true
+}
+
+// expireLocked drops queued requests whose deadline already passed without
+// spending backend capacity on them.
+func (g *Gateway) expireLocked(now time.Time) {
+	for t := range g.queues {
+		d := g.tenants[t].Deadline
+		if d <= 0 {
+			continue
+		}
+		kept := g.queues[t][:0]
+		for _, r := range g.queues[t] {
+			if now.Sub(r.enqueue) > d {
+				g.counts[t].Expired++
+				r.res <- Result{Tenant: g.tenants[t].Name, Err: ErrDeadlineExceeded}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		g.queues[t] = kept
+	}
+}
+
+// pickLocked returns the tenant whose head request is admitted next, or -1.
+// The rule is bit-identical to sim.MultiStreamOpts: FIFO takes the lowest
+// global sequence number; WFQ takes the lowest vserved + 1/weight, ties to
+// the lower tenant index.
+func (g *Gateway) pickLocked() int {
+	best := -1
+	var bestFIFO uint64
+	var bestWFQ float64
+	for t := range g.queues {
+		if len(g.queues[t]) == 0 || g.tinfl[t] >= g.tenants[t].Window {
+			continue
+		}
+		switch g.cfg.Policy {
+		case PolicyFIFO:
+			if key := g.queues[t][0].seq; best < 0 || key < bestFIFO {
+				best, bestFIFO = t, key
+			}
+		case PolicyWFQ:
+			if key := g.vserved[t] + 1/g.tenants[t].Weight; best < 0 || key < bestWFQ {
+				best, bestWFQ = t, key
+			}
+		}
+	}
+	return best
+}
+
+// serve runs one admitted request on the backend and delivers its Result.
+func (g *Gateway) serve(r *request) {
+	defer g.wg.Done()
+	err := g.be.Submit()
+	lat := time.Since(r.enqueue)
+	t := r.tenant
+	name := g.tenants[t].Name
+	if err == nil && g.tenants[t].Deadline > 0 && lat > g.tenants[t].Deadline {
+		err = ErrDeadlineExceeded
+	}
+	g.mu.Lock()
+	g.inflight--
+	g.tinfl[t]--
+	if err == nil {
+		g.counts[t].Completed++
+	} else if errors.Is(err, ErrDeadlineExceeded) {
+		g.counts[t].Late++
+	} else {
+		g.counts[t].Failed++
+	}
+	if err == nil || errors.Is(err, ErrDeadlineExceeded) {
+		// The backend did serve it: its latency belongs in the
+		// distribution whether or not it beat the deadline.
+		g.served[t] = append(g.served[t], lat.Seconds())
+	}
+	g.mu.Unlock()
+	r.res <- Result{Tenant: name, LatencyMS: lat.Seconds() * 1e3, Err: err}
+	g.kick()
+}
+
+// Summary returns per-tenant outcome counts and latency statistics, in
+// tenant configuration order. It may be called while the gateway is live.
+func (g *Gateway) Summary() []TenantSummary {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]TenantSummary, len(g.tenants))
+	for t := range g.tenants {
+		s := g.counts[t]
+		if n := len(g.served[t]); n > 0 {
+			sorted := append([]float64(nil), g.served[t]...)
+			sort.Float64s(sorted)
+			var sum float64
+			for _, l := range sorted {
+				sum += l
+			}
+			s.MeanLatMS = sum / float64(n) * 1e3
+			s.P95LatMS = quantile(sorted, 0.95) * 1e3
+			s.MaxLatMS = sorted[n-1] * 1e3
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// quantile is the nearest-rank quantile over an ascending slice — the same
+// rule sim uses for PipelineResult percentiles.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// Close stops admitting, fails every queued request with ErrClosed, and
+// waits for in-flight backend submits to drain (they may still complete
+// normally). Close does not close the backend.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return
+	}
+	g.closed = true
+	var rejected []*request
+	for t := range g.queues {
+		rejected = append(rejected, g.queues[t]...)
+		g.counts[t].Failed += len(g.queues[t])
+		g.queues[t] = nil
+	}
+	g.mu.Unlock()
+	close(g.done)
+	for _, r := range rejected {
+		r.res <- Result{Tenant: g.tenants[r.tenant].Name, Err: ErrClosed}
+	}
+	g.wg.Wait()
+}

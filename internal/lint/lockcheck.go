@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // LockCheck enforces the repo's documented lock discipline. It is opt-in
@@ -25,6 +26,13 @@ import (
 // Accesses through local copies or non-receiver variables are not checked;
 // the discipline covers the struct's own methods, which is where this
 // codebase does its shared mutation.
+//
+// Helper methods named with a Locked suffix (expireLocked, pickLocked, ...)
+// document the caller-holds convention: their bodies are assumed to run
+// under the receiver's lock and are not checked positionally, and in
+// exchange every call to such a method from a sibling method must itself
+// hold every mutex that guards an annotated field — so the obligation moves
+// to the call site instead of silently disappearing.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc:  "enforce `guarded by <mu>` field annotations in methods of the owning struct",
@@ -59,7 +67,13 @@ func runLockCheck(p *Pass) {
 			if recvName == "_" {
 				continue
 			}
-			checkLockScope(p, gs, recvName, fd.Name.Name, fd.Body)
+			// Locked-suffix helpers run under the caller's lock by
+			// convention: their bodies are exempt (call sites carry the
+			// obligation), but goroutine literals inside them are still
+			// fresh lock scopes.
+			if !isLockedHelper(fd.Name.Name) {
+				checkLockScope(p, gs, recvName, fd.Name.Name, fd.Body)
+			}
 			// Nested function literals: separate lock scopes.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if fl, ok := n.(*ast.FuncLit); ok {
@@ -133,12 +147,19 @@ func checkLockScope(p *Pass, gs *guardedStruct, recvName, method string, body *a
 		field string
 	}
 	var accesses []access
+	var lockedCalls []access // calls to Locked-suffix sibling methods
 
 	var walk func(n ast.Node, inDefer bool) bool
 	walk = func(n ast.Node, inDefer bool) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvName && isLockedHelper(sel.Sel.Name) {
+					lockedCalls = append(lockedCalls, access{sel.Pos(), sel.Sel.Name})
+				}
+			}
 		case *ast.DeferStmt:
 			ast.Inspect(n.Call, func(m ast.Node) bool {
 				if _, ok := m.(*ast.FuncLit); ok {
@@ -170,7 +191,7 @@ func checkLockScope(p *Pass, gs *guardedStruct, recvName, method string, body *a
 		return true
 	}
 	ast.Inspect(body, func(n ast.Node) bool { return walk(n, false) })
-	if len(accesses) == 0 {
+	if len(accesses) == 0 && len(lockedCalls) == 0 {
 		return
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
@@ -209,6 +230,36 @@ func checkLockScope(p *Pass, gs *guardedStruct, recvName, method string, body *a
 			p.Reportf(a.pos, "%s.%s (guarded by %s) accessed in %s without holding %s; lock it or snapshot the field under the lock", recvName, a.field, mu, method, mu)
 		}
 	}
+	if len(lockedCalls) > 0 {
+		for _, mu := range gs.guardMutexes() {
+			for _, c := range lockedCalls {
+				if !heldAt(mu, c.pos) {
+					p.Reportf(c.pos, "%s.%s is a Locked-suffix helper called in %s without holding %s; it runs under the caller's lock by convention", recvName, c.field, method, mu)
+				}
+			}
+		}
+	}
+}
+
+// isLockedHelper reports whether the method name declares the caller-holds
+// convention: a non-empty base name with the Locked suffix.
+func isLockedHelper(name string) bool {
+	return len(name) > len("Locked") && strings.HasSuffix(name, "Locked")
+}
+
+// guardMutexes returns the mutexes that guard at least one annotated
+// field, sorted for deterministic diagnostics.
+func (gs *guardedStruct) guardMutexes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, mu := range gs.guarded {
+		if !seen[mu] {
+			seen[mu] = true
+			out = append(out, mu)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // span is a source interval of a block whose control flow exits instead of

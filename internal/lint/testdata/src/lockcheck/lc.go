@@ -54,6 +54,30 @@ func (c *counter) Snapshot() int {
 	return v
 }
 
+// bumpLocked documents the caller-holds convention: its body is exempt
+// from positional checking, and the obligation moves to its call sites.
+func (c *counter) bumpLocked() {
+	c.n++ // no diagnostic: assumed under the caller's mu
+}
+
+func (c *counter) CallsHelperHeld() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func (c *counter) CallsHelperUnheld() {
+	c.bumpLocked() // want `c\.bumpLocked is a Locked-suffix helper called in CallsHelperUnheld without holding mu`
+}
+
+func (c *counter) CallsHelperFromGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.bumpLocked() // want `Locked-suffix helper called in CallsHelperFromGoroutine \(func literal\) without holding mu`
+	}()
+}
+
 type gauge struct {
 	rw sync.RWMutex
 	v  float64 // guarded by rw

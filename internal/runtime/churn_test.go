@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -115,6 +116,15 @@ func TestRecoverUnplannableFailureSurfaces(t *testing.T) {
 	_, err = cl.Run(1)
 	if err == nil {
 		t.Fatal("run must fail")
+	}
+	// Pin the no-progress guard: the error must say recovery could not
+	// identify a dead provider AND carry the original cause, so the
+	// operator sees why the run stopped instead of an opaque loop exit.
+	if !strings.Contains(err.Error(), "no identifiable dead provider") {
+		t.Errorf("err %q must surface the no-progress recovery guard", err)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err %q must carry the original timeout cause", err)
 	}
 }
 

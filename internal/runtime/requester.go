@@ -26,8 +26,14 @@ type Cluster struct {
 	providers []*Provider        // guarded by provMu
 	alive     []bool             // guarded by provMu
 
-	tr      transport.Transport
-	ln      transport.Listener
+	tr transport.Transport
+	ln transport.Listener
+	// sendMu serialises input scatters across concurrent submitters:
+	// per-destination sends inside one scatter stay concurrent, but
+	// successive images enter the uplink one at a time, matching the
+	// pipeline simulator's uplink busy floor no matter how many callers
+	// (RunPipelined's admission loop, gateway Submits) race to admit.
+	sendMu  sync.Mutex
 	resMu   sync.Mutex
 	pending map[uint32]map[chunkKey]bool // guarded by resMu
 	arrived map[uint32]chan struct{}     // guarded by resMu
@@ -242,6 +248,20 @@ func (c *Cluster) register() (uint32, chan struct{}) {
 	return img, done
 }
 
+// dropRegistration unwinds a registration whose input scatter failed: no
+// result can ever arrive for the image, so its pending set and done channel
+// are dropped and the image is marked completed so the gc watermark can
+// advance past it — the mirror of recovery's drain, without which gcLow
+// wedges below the dead id forever and provider assembly state above it is
+// never collected again.
+func (c *Cluster) dropRegistration(img uint32) {
+	c.resMu.Lock()
+	delete(c.pending, img)
+	delete(c.arrived, img)
+	c.resMu.Unlock()
+	c.complete(img)
+}
+
 // complete records a finished image and advances the gc watermark: provider
 // assembly state is dropped only once every image at or below it has
 // completed, so an early finisher never tears down state a straggler in the
@@ -452,6 +472,68 @@ func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 	return stats, nil
 }
 
+// admit registers the next image and scatters its input rows, serialised
+// against every other submitter by sendMu. A failed scatter has already
+// marked the cluster failed (sendInput attributes it to its destination);
+// admit additionally drops the dead registration so the gc watermark keeps
+// advancing, and returns the error.
+func (c *Cluster) admit() (uint32, chan struct{}, error) {
+	img, done := c.register()
+	c.sendMu.Lock()
+	err := c.sendInput(img)
+	c.sendMu.Unlock()
+	if err != nil {
+		c.dropRegistration(img)
+		return 0, nil, err
+	}
+	return img, done, nil
+}
+
+// await blocks until the admitted image's full result has arrived (nil),
+// the per-image Options.Timeout fires, the cluster's current epoch records
+// a failure, or the cluster closes. On success the image is marked complete
+// and provider assembly state below the watermark is collected.
+func (c *Cluster) await(img uint32, done <-chan struct{}) error {
+	failed := c.failedCh()
+	timer := time.NewTimer(c.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		c.complete(img)
+		return nil
+	case <-timer.C:
+		err := fmt.Errorf("runtime: image %d timed out after %s", img, c.opts.Timeout)
+		c.failNow(-1, err)
+		return err
+	case <-failed:
+		return fmt.Errorf("runtime: image %d aborted: %w", img, c.Err())
+	case <-c.done:
+		err := fmt.Errorf("runtime: cluster closed during run")
+		c.fail(err)
+		return err
+	}
+}
+
+// Submit streams one image through the deployed strategy and blocks until
+// its result assembles (or the per-image timeout / a cluster failure
+// aborts it). It is the shared-cluster admission primitive: where
+// RunPipelined owns the whole admission window for a single caller's image
+// list, Submit is safe for arbitrary concurrent callers — the serving
+// gateway (internal/gateway) multiplexes many tenants' requests over one
+// deployed fleet through it, supplying its own windowing, fairness and
+// deadlines. Submit does not drive churn recovery: a failure is sticky
+// (see Err) and surfaces from every in-flight and subsequent Submit.
+func (c *Cluster) Submit() error {
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("runtime: cluster already failed: %w", err)
+	}
+	img, done, err := c.admit()
+	if err != nil {
+		return err
+	}
+	return c.await(img, done)
+}
+
 // runBatch admits the given image slots through the current deployment
 // with the admission-window protocol, returning the epoch's first error
 // (nil when every slot completed). Slots that complete are marked in
@@ -459,7 +541,6 @@ func (c *Cluster) RunPipelined(images, window int) (RunStats, error) {
 // re-admitted images show the recovery stall in PerImageMS.
 func (c *Cluster) runBatch(slots []int, window int, t0s []time.Time, completed []bool, stats *RunStats) error {
 	failed := c.failedCh()
-	timeout := c.opts.Timeout
 	sem := make(chan struct{}, window)
 	var wg sync.WaitGroup
 admit:
@@ -474,11 +555,11 @@ admit:
 			c.fail(fmt.Errorf("runtime: cluster closed during run"))
 			break admit
 		}
-		img, done := c.register()
 		if t0s[slot].IsZero() {
 			t0s[slot] = time.Now()
 		}
-		if err := c.sendInput(img); err != nil {
+		img, done, err := c.admit()
+		if err != nil {
 			<-sem
 			break admit
 		}
@@ -486,18 +567,9 @@ admit:
 		go func(slot int, img uint32, done <-chan struct{}) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			timer := time.NewTimer(timeout)
-			defer timer.Stop()
-			select {
-			case <-done:
+			if c.await(img, done) == nil {
 				stats.PerImageMS[slot] = float64(time.Since(t0s[slot]).Microseconds()) / 1e3
 				completed[slot] = true
-				c.complete(img)
-			case <-timer.C:
-				c.failNow(-1, fmt.Errorf("runtime: image %d timed out after %s", img, timeout))
-			case <-failed:
-			case <-c.done:
-				c.fail(fmt.Errorf("runtime: cluster closed during run"))
 			}
 		}(slot, img, done)
 	}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distredge/internal/strategy"
+)
+
+// Admission policies for MultiStreamOpts and the runtime gateway it
+// mirrors. Both implementations share the same pick rule so a policy swept
+// offline here transfers to internal/gateway unchanged:
+//
+//   - AdmitFIFO serves requests strictly in enqueue order (ties broken by
+//     tenant index), so a heavy tenant's burst runs ahead of everyone
+//     queued behind it;
+//   - AdmitWFQ is weighted fair queueing by request count: each admission
+//     charges the tenant 1/Weight of virtual service and the tenant with
+//     the least virtual service (plus its next request's charge) goes
+//     first, so a small tenant with any backlog is interleaved with a
+//     heavy one instead of waiting out its burst.
+const (
+	AdmitFIFO = "fifo"
+	AdmitWFQ  = "wfq"
+)
+
+// TenantSpec describes one tenant's workload for MultiStreamOpts: a backlog
+// of Images requests enqueued together at EnqueueSec (the burst model — a
+// client handing the gateway its whole batch at once).
+type TenantSpec struct {
+	Name   string
+	Images int
+	// Weight is the tenant's fair-queueing share (<= 0 means 1). Only
+	// AdmitWFQ consults it.
+	Weight float64
+	// Window caps the tenant's own in-flight requests (<= 0 means bounded
+	// only by the global window).
+	Window int
+	// EnqueueSec is when the tenant's backlog arrives, relative to the
+	// stream start. Must not be negative.
+	EnqueueSec float64
+}
+
+// TenantResult is one tenant's latency distribution out of a multi-stream
+// evaluation. Latencies are enqueue-to-completion — they include the time a
+// request queued in the gateway before admission, which is what a
+// per-tenant SLO bounds (and what FIFO vs fair queueing actually changes).
+type TenantResult struct {
+	Name        string
+	Images      int
+	PerImageSec []float64 // enqueue-to-completion, in admission order
+	MeanLatMS   float64
+	P50LatMS    float64
+	P95LatMS    float64
+	MaxLatMS    float64
+}
+
+// MultiStreamResult summarises a multi-tenant streaming evaluation.
+type MultiStreamResult struct {
+	Policy   string
+	Window   int
+	TotalSec float64 // stream start to last completion
+	IPS      float64 // all tenants' images / TotalSec
+	Tenants  []TenantResult
+}
+
+// MultiStreamConfig parameterises MultiStreamOpts. Batch and WireFrac mean
+// exactly what they mean in PipelineConfig (zero values select the
+// bit-identical defaults).
+type MultiStreamConfig struct {
+	Tenants  []TenantSpec
+	Policy   string // AdmitFIFO (default) or AdmitWFQ
+	Window   int    // global admission window shared by every tenant
+	Batch    int
+	WireFrac float64
+	Start    float64 // trace time of the stream start
+}
+
+// MultiStream evaluates the strategy serving several tenants' request
+// backlogs at once — the simulator mirror of the runtime gateway
+// (internal/gateway). See MultiStreamOpts.
+func (e *Env) MultiStream(s *strategy.Strategy, tenants []TenantSpec, policy string, window int) (MultiStreamResult, error) {
+	return e.MultiStreamOpts(s, MultiStreamConfig{Tenants: tenants, Policy: policy, Window: window})
+}
+
+// MultiStreamOpts admits many tenants' requests into one shared pipeline:
+// a global window of images is kept in flight over the same busy-floor
+// resource model as PipelineStreamOpts, and whenever a slot frees the next
+// request is chosen by the admission policy among tenants with backlog,
+// per-tenant window slack and an arrived burst. A single tenant enqueued at
+// the start under AdmitFIFO reproduces PipelineStreamOpts bit-for-bit
+// whenever completions happen in admission order (property-tested) — the
+// engines only differ when completions reorder, where the multi-stream
+// model frees the earliest-completing slot rather than the
+// earliest-admitted one, matching what the gateway's semaphore really does.
+func (e *Env) MultiStreamOpts(s *strategy.Strategy, cfg MultiStreamConfig) (MultiStreamResult, error) {
+	if len(cfg.Tenants) == 0 {
+		return MultiStreamResult{}, fmt.Errorf("sim: need at least one tenant")
+	}
+	if cfg.Window < 1 {
+		return MultiStreamResult{}, fmt.Errorf("sim: window must be >= 1, got %d", cfg.Window)
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = AdmitFIFO
+	}
+	if policy != AdmitFIFO && policy != AdmitWFQ {
+		return MultiStreamResult{}, fmt.Errorf("sim: unknown admission policy %q (want %s|%s)", cfg.Policy, AdmitFIFO, AdmitWFQ)
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	wire := cfg.WireFrac
+	if wire == 0 {
+		wire = 1
+	}
+	if !(wire > 0) || math.IsInf(wire, 0) {
+		return MultiStreamResult{}, fmt.Errorf("sim: wire fraction must be positive and finite, got %v", cfg.WireFrac)
+	}
+
+	nT := len(cfg.Tenants)
+	names := make([]string, nT)
+	weights := make([]float64, nT)
+	caps := make([]int, nT)
+	enq := make([]float64, nT)     // absolute enqueue time of the tenant's burst
+	backlog := make([]int, nT)     // requests not yet admitted
+	tinfl := make([]int, nT)       // requests in flight
+	vserved := make([]float64, nT) // WFQ virtual service already charged
+	total := 0
+	for i, t := range cfg.Tenants {
+		if t.Images < 1 {
+			return MultiStreamResult{}, fmt.Errorf("sim: tenant %d needs at least one image, got %d", i, t.Images)
+		}
+		if t.EnqueueSec < 0 {
+			return MultiStreamResult{}, fmt.Errorf("sim: tenant %d enqueue time %g is negative", i, t.EnqueueSec)
+		}
+		names[i] = t.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("tenant%d", i)
+		}
+		weights[i] = t.Weight
+		if weights[i] <= 0 {
+			weights[i] = 1
+		}
+		caps[i] = t.Window
+		if caps[i] <= 0 {
+			caps[i] = cfg.Window
+		}
+		enq[i] = cfg.Start + t.EnqueueSec
+		backlog[i] = t.Images
+		total += t.Images
+	}
+
+	p, err := e.checkoutPlan(s)
+	if err != nil {
+		return MultiStreamResult{}, err
+	}
+	ps := newPipeState(e.NumProviders(), len(p.vols), batch, wire)
+
+	// In-flight slots: absolute completion time plus owning tenant. The
+	// window is small, so linear min scans stay cheap and deterministic.
+	type slot struct {
+		done   float64
+		tenant int
+	}
+	var inflight []slot
+	minSlot := func() int {
+		mi := -1
+		for i := range inflight {
+			if mi < 0 || inflight[i].done < inflight[mi].done {
+				mi = i
+			}
+		}
+		return mi
+	}
+
+	perTenant := make([][]float64, nT)
+	now := cfg.Start
+	lastDone := cfg.Start
+	for admitted := 0; admitted < total; admitted++ {
+		pick := -1
+		for pick < 0 {
+			// Free every slot whose image has completed by now.
+			for {
+				mi := minSlot()
+				if mi < 0 || inflight[mi].done > now {
+					break
+				}
+				tinfl[inflight[mi].tenant]--
+				inflight[mi] = inflight[len(inflight)-1]
+				inflight = inflight[:len(inflight)-1]
+			}
+			if len(inflight) < cfg.Window {
+				best := -1
+				var bestKey float64
+				for t := 0; t < nT; t++ {
+					if backlog[t] == 0 || enq[t] > now || tinfl[t] >= caps[t] {
+						continue
+					}
+					var key float64
+					if policy == AdmitFIFO {
+						key = enq[t]
+					} else {
+						key = vserved[t] + 1/weights[t]
+					}
+					if best < 0 || key < bestKey {
+						best, bestKey = t, key
+					}
+				}
+				if best >= 0 {
+					pick = best
+					break
+				}
+			}
+			// Nothing admissible yet: advance to the next event — the
+			// earliest in-flight completion or the earliest burst arrival
+			// still ahead of the cursor.
+			next := math.Inf(1)
+			if mi := minSlot(); mi >= 0 {
+				next = inflight[mi].done
+			}
+			for t := 0; t < nT; t++ {
+				if backlog[t] > 0 && enq[t] > now && enq[t] < next {
+					next = enq[t]
+				}
+			}
+			if math.IsInf(next, 1) {
+				e.checkinPlan(p)
+				return MultiStreamResult{}, fmt.Errorf("sim: multi-stream admission wedged with %d images left", total-admitted)
+			}
+			now = next
+		}
+		lat := p.runPipelined(now, ps)
+		doneAt := now + lat
+		perTenant[pick] = append(perTenant[pick], doneAt-enq[pick])
+		if doneAt > lastDone {
+			lastDone = doneAt
+		}
+		vserved[pick] += 1 / weights[pick]
+		tinfl[pick]++
+		backlog[pick]--
+		inflight = append(inflight, slot{done: doneAt, tenant: pick})
+	}
+	e.checkinPlan(p)
+
+	res := MultiStreamResult{
+		Policy:   policy,
+		Window:   cfg.Window,
+		TotalSec: lastDone - cfg.Start,
+	}
+	if res.TotalSec > 0 {
+		res.IPS = float64(total) / res.TotalSec
+	}
+	for t := 0; t < nT; t++ {
+		tr := TenantResult{Name: names[t], Images: len(perTenant[t]), PerImageSec: perTenant[t]}
+		sorted := append([]float64(nil), perTenant[t]...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, l := range sorted {
+			sum += l
+		}
+		tr.MeanLatMS = sum / float64(len(sorted)) * 1e3
+		tr.P50LatMS = quantile(sorted, 0.50) * 1e3
+		tr.P95LatMS = quantile(sorted, 0.95) * 1e3
+		tr.MaxLatMS = sorted[len(sorted)-1] * 1e3
+		res.Tenants = append(res.Tenants, tr)
+	}
+	return res, nil
+}

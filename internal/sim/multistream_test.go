@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultiStreamSingleTenantMatchesPipeline pins the multi-stream engine
+// to PipelineStreamOpts on its common subset: one tenant enqueued at the
+// start under FIFO frees slots in admission order whenever completions are
+// monotone, so the whole-stream totals must be bit-identical.
+func TestMultiStreamSingleTenantMatchesPipeline(t *testing.T) {
+	for _, constant := range []bool{true, false} {
+		env := equivEnv(t, constant)
+		s := equivStrategies(env.Model, env.NumProviders())[0]
+		const images, window = 20, 4
+		want, err := env.PipelineStream(s, images, window, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := env.MultiStream(s, []TenantSpec{{Name: "solo", Images: images}}, AdmitFIFO, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalSec != want.TotalSec {
+			t.Errorf("constant=%v: TotalSec %.17g != pipeline %.17g", constant, got.TotalSec, want.TotalSec)
+		}
+		if got.IPS != want.IPS {
+			t.Errorf("constant=%v: IPS %.17g != pipeline %.17g", constant, got.IPS, want.IPS)
+		}
+		if len(got.Tenants) != 1 || got.Tenants[0].Images != images {
+			t.Fatalf("constant=%v: tenant results %+v", constant, got.Tenants)
+		}
+	}
+}
+
+// TestMultiStreamWFQImprovesSmallTenantP95 is the offline half of the
+// tentpole's differential criterion: a small high-weight tenant sharing
+// the fleet with a heavy tenant's burst must see a strictly better p95
+// under weighted fair queueing than under FIFO (where the burst runs
+// first), while the whole stream's rate stays comparable.
+func TestMultiStreamWFQImprovesSmallTenantP95(t *testing.T) {
+	env := equivEnv(t, true)
+	s := equivStrategies(env.Model, env.NumProviders())[0]
+	tenants := []TenantSpec{
+		{Name: "heavy", Images: 16, Weight: 1},
+		{Name: "small", Images: 4, Weight: 4},
+	}
+	fifo, err := env.MultiStream(s, tenants, AdmitFIFO, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq, err := env.MultiStream(s, tenants, AdmitWFQ, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoSmall := fifo.Tenants[1].P95LatMS
+	wfqSmall := wfq.Tenants[1].P95LatMS
+	if !(wfqSmall < fifoSmall) {
+		t.Errorf("small tenant p95: wfq %.1fms must beat fifo %.1fms", wfqSmall, fifoSmall)
+	}
+	// Work conservation: the policies reorder the same requests over the
+	// same resources, so the whole stream finishes at a comparable rate.
+	if wfq.IPS < 0.5*fifo.IPS {
+		t.Errorf("wfq IPS %.3f collapsed vs fifo %.3f — reordering must not destroy throughput", wfq.IPS, fifo.IPS)
+	}
+	// And the heavy tenant keeps its full request count.
+	if wfq.Tenants[0].Images != 16 || fifo.Tenants[0].Images != 16 {
+		t.Errorf("heavy tenant image counts: wfq %d fifo %d, want 16", wfq.Tenants[0].Images, fifo.Tenants[0].Images)
+	}
+}
+
+// TestMultiStreamLateEnqueueWaits pins the arrival model: a tenant whose
+// burst arrives after the stream start is not admitted before it, and its
+// latencies are measured from ITS enqueue, not the stream start — a burst
+// landing on an idle pipeline sees solo latency regardless of how late it
+// arrived.
+func TestMultiStreamLateEnqueueWaits(t *testing.T) {
+	env := equivEnv(t, true)
+	s := equivStrategies(env.Model, env.NumProviders())[0]
+	solo, err := env.MultiStream(s, []TenantSpec{{Name: "solo", Images: 1}}, AdmitFIFO, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := env.MultiStream(s, []TenantSpec{{Name: "early", Images: 2}}, AdmitFIFO, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue the late burst after the early one has fully drained: the
+	// pipeline is idle, so the late tenant's first request must complete in
+	// exactly the solo single-image latency despite arriving mid-stream.
+	gap := early.TotalSec + 1
+	res, err := env.MultiStreamOpts(s, MultiStreamConfig{
+		Tenants: []TenantSpec{
+			{Name: "early", Images: 2},
+			{Name: "late", Images: 1, EnqueueSec: gap},
+		},
+		Window: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := res.Tenants[1]
+	if late.Images != 1 {
+		t.Fatalf("late tenant served %d of 1", late.Images)
+	}
+	if late.PerImageSec[0] != solo.Tenants[0].PerImageSec[0] {
+		t.Errorf("late tenant on an idle pipeline: latency %.17g != solo %.17g — enqueue offset leaked into the measurement",
+			late.PerImageSec[0], solo.Tenants[0].PerImageSec[0])
+	}
+	if res.TotalSec < gap {
+		t.Errorf("stream finished in %.3fs, before the late burst at %.3fs arrived", res.TotalSec, gap)
+	}
+}
+
+// TestMultiStreamValidation covers the config error paths.
+func TestMultiStreamValidation(t *testing.T) {
+	env := equivEnv(t, true)
+	s := equivStrategies(env.Model, env.NumProviders())[0]
+	cases := []struct {
+		name string
+		cfg  MultiStreamConfig
+		want string
+	}{
+		{"no tenants", MultiStreamConfig{Window: 4}, "at least one tenant"},
+		{"bad window", MultiStreamConfig{Tenants: []TenantSpec{{Images: 1}}, Window: 0}, "window must be >= 1"},
+		{"bad policy", MultiStreamConfig{Tenants: []TenantSpec{{Images: 1}}, Window: 1, Policy: "lifo"}, "unknown admission policy"},
+		{"no images", MultiStreamConfig{Tenants: []TenantSpec{{Images: 0}}, Window: 1}, "at least one image"},
+		{"negative enqueue", MultiStreamConfig{Tenants: []TenantSpec{{Images: 1, EnqueueSec: -1}}, Window: 1}, "negative"},
+		{"bad wire", MultiStreamConfig{Tenants: []TenantSpec{{Images: 1}}, Window: 1, WireFrac: -0.5}, "wire fraction"},
+	}
+	for _, c := range cases {
+		if _, err := env.MultiStreamOpts(s, c.cfg); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestPipelineStreamSingleImageSteady covers the n=1 stream end to end:
+// with one image there is no second half to rate, so SteadyIPS must fall
+// back to the overall IPS instead of dividing by a zero span.
+func TestPipelineStreamSingleImageSteady(t *testing.T) {
+	env := equivEnv(t, true)
+	s := equivStrategies(env.Model, env.NumProviders())[0]
+	res, err := env.PipelineStream(s, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyIPS != res.IPS {
+		t.Errorf("single-image stream: SteadyIPS %.17g != IPS %.17g", res.SteadyIPS, res.IPS)
+	}
+	if res.IPS <= 0 {
+		t.Errorf("single-image stream: IPS %g must be positive", res.IPS)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -127,5 +128,95 @@ func (o ThroughputObjective) Score(e *Env, s *strategy.Strategy, at float64) (fl
 // strategy pipelined — sustained throughput is what the agent is rewarded
 // for, not the latency of a lone image.
 func (o ThroughputObjective) EpisodeScore(e *Env, s *strategy.Strategy, at, seqLatency float64) (float64, error) {
+	return o.Score(e, s, at)
+}
+
+// ErrSLOViolated reports that a strategy's predicted p95
+// admission-to-completion latency exceeds the SLO bound. It is wrapped by
+// SLOThroughputObjective.Eval so planners and CLIs can reject infeasible
+// plans with errors.Is.
+var ErrSLOViolated = errors.New("sim: predicted p95 latency violates the SLO bound")
+
+// sloPenaltySec is the score floor for SLO-violating strategies — far
+// worse than any feasible plan's seconds-per-image. The penalty scales
+// with the relative violation so the OSDS reward gradient still points
+// toward feasibility instead of flattening out.
+const sloPenaltySec = 1e6
+
+// SLOThroughputObjective is the serving gateway's planning goal: maximise
+// sustained pipelined throughput subject to a p95 admission-to-completion
+// latency bound. Feasible strategies score exactly like
+// ThroughputObjective (steady-state seconds per image); strategies whose
+// predicted p95 — read off the PipelineResult latency distribution at the
+// deployment's window and batch — exceeds P95Sec are penalised past any
+// feasible score, so the planner only ever prefers a violating plan when
+// no evaluated plan meets the bound (Eval lets callers reject even then).
+type SLOThroughputObjective struct {
+	// Window, Images and Batch parameterise the pipelined evaluation
+	// exactly as in ThroughputObjective (same defaults).
+	Window int
+	Images int
+	Batch  int
+	// P95Sec is the p95 admission-to-completion latency bound in seconds.
+	// Must be positive.
+	P95Sec float64
+}
+
+func (o SLOThroughputObjective) withDefaults() SLOThroughputObjective {
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.Images <= 0 {
+		o.Images = 4*o.Window + 8
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	return o
+}
+
+// Name returns "slo".
+func (SLOThroughputObjective) Name() string { return "slo" }
+
+// Eval runs the pipelined evaluation and checks the bound: it returns the
+// result plus an error wrapping ErrSLOViolated when the predicted p95
+// exceeds P95Sec. Deployment paths use it to refuse plans outright where
+// Score only penalises them.
+func (o SLOThroughputObjective) Eval(e *Env, s *strategy.Strategy, at float64) (PipelineResult, error) {
+	o = o.withDefaults()
+	if !(o.P95Sec > 0) {
+		return PipelineResult{}, fmt.Errorf("sim: slo objective: p95 bound must be positive, got %g", o.P95Sec)
+	}
+	res, err := e.PipelineStreamOpts(s, PipelineConfig{Images: o.Images, Window: o.Window, Batch: o.Batch, Start: at})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	if res.SteadyIPS <= 0 || math.IsInf(res.SteadyIPS, 0) || math.IsNaN(res.SteadyIPS) {
+		return PipelineResult{}, fmt.Errorf("sim: slo objective: degenerate SteadyIPS %g", res.SteadyIPS)
+	}
+	if res.P95LatMS/1e3 > o.P95Sec {
+		return res, fmt.Errorf("%w: predicted p95 %.3gms > bound %.3gms", ErrSLOViolated, res.P95LatMS, o.P95Sec*1e3)
+	}
+	return res, nil
+}
+
+// Score returns steady-state seconds per image when the bound holds, and
+// the scaled infeasibility penalty when it does not.
+func (o SLOThroughputObjective) Score(e *Env, s *strategy.Strategy, at float64) (float64, error) {
+	o = o.withDefaults()
+	res, err := o.Eval(e, s, at)
+	if err != nil {
+		if errors.Is(err, ErrSLOViolated) {
+			return sloPenaltySec * (res.P95LatMS / 1e3 / o.P95Sec), nil
+		}
+		return 0, err
+	}
+	return 1 / res.SteadyIPS, nil
+}
+
+// EpisodeScore evaluates the episode's strategy under the full constrained
+// objective — the agent is rewarded for feasible throughput, so violating
+// episodes feel the penalty during training too.
+func (o SLOThroughputObjective) EpisodeScore(e *Env, s *strategy.Strategy, at, seqLatency float64) (float64, error) {
 	return o.Score(e, s, at)
 }

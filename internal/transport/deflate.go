@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Deflate returns a codec that DEFLATE-compresses data-chunk payloads
@@ -28,14 +29,46 @@ import (
 // stdlib decompressor's per-block Huffman tables, which flate rebuilds
 // from scratch on every dynamic block — not codec state, and not
 // poolable from outside the stdlib.)
-func Deflate() Codec { return deflateCodec{inner: Binary()} }
+func Deflate() Codec { return deflateCodec{inner: Binary(), stats: &DeflateStats{}} }
 
-type deflateCodec struct{ inner Codec }
+// DeflateStats accumulates the measured compression ratio of one Deflate()
+// codec value: every connection's encoder built from that value folds its
+// per-message raw and compressed payload byte counts into the shared
+// counters, so Ratio is the byte-weighted mean ratio across all of the
+// codec's conns. The simulator's static WireFrac conservatively charges
+// deflate a fraction of 1 (the ratio is data-dependent); once traffic has
+// flowed, CalibratedWireFrac substitutes this measurement so shaped
+// deflate predictions tighten to the bytes actually sent.
+type DeflateStats struct {
+	raw        atomic.Uint64
+	compressed atomic.Uint64
+}
+
+func (s *DeflateStats) add(raw, compressed int) {
+	s.raw.Add(uint64(raw))
+	s.compressed.Add(uint64(compressed))
+}
+
+// Ratio returns compressed/raw payload bytes over everything encoded so
+// far. ok is false — and the ratio 1, the static conservative fraction —
+// until at least one data payload has been compressed.
+func (s *DeflateStats) Ratio() (ratio float64, ok bool) {
+	raw := s.raw.Load()
+	if raw == 0 {
+		return 1, false
+	}
+	return float64(s.compressed.Load()) / float64(raw), true
+}
+
+type deflateCodec struct {
+	inner Codec
+	stats *DeflateStats
+}
 
 func (deflateCodec) Name() string { return "deflate" }
 
 func (c deflateCodec) NewEncoder(w io.Writer) Encoder {
-	return &deflateEncoder{inner: c.inner.NewEncoder(w)}
+	return &deflateEncoder{inner: c.inner.NewEncoder(w), stats: c.stats}
 }
 
 func (c deflateCodec) NewDecoder(r io.Reader) Decoder {
@@ -84,6 +117,7 @@ func putFlateReader(fr io.ReadCloser) { flateReaders.Put(fr) }
 type deflateEncoder struct {
 	inner Encoder
 	buf   bytes.Buffer
+	stats *DeflateStats
 }
 
 func (e *deflateEncoder) Encode(m *Message) error {
@@ -102,6 +136,9 @@ func (e *deflateEncoder) Encode(m *Message) error {
 		return err
 	}
 	putFlateWriter(fw)
+	if e.stats != nil {
+		e.stats.add(len(m.Payload), e.buf.Len())
+	}
 	// Frame a copy of the message so the caller's payload field — whose
 	// ownership the Send contract may hand to a pool — is never rewritten.
 	tmp := *m

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// compressiblePayload is float32-aligned and highly repetitive, so deflate
+// achieves a ratio well under 1 on it.
+func compressiblePayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i % 8)
+	}
+	return p
+}
+
+func encodeThrough(t *testing.T, c Codec, payload []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	m := Message{Image: 1, Volume: 2, Lo: 0, Hi: 8, Payload: payload}
+	if err := c.NewEncoder(&buf).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeflateRatioMeasured pins the calibration lifecycle: a fresh codec
+// reports the conservative unmeasured fraction of 1; once a data payload
+// has been compressed it reports the byte-weighted measured ratio.
+func TestDeflateRatioMeasured(t *testing.T) {
+	c := Deflate()
+	if frac, ok := CalibratedWireFrac(c); ok || frac != 1 {
+		t.Fatalf("fresh deflate: CalibratedWireFrac = %v, %v, want 1, false", frac, ok)
+	}
+	encodeThrough(t, c, compressiblePayload(4096))
+	frac, ok := CalibratedWireFrac(c)
+	if !ok {
+		t.Fatal("after traffic the ratio must be measured")
+	}
+	if !(frac > 0 && frac < 1) {
+		t.Errorf("measured ratio %v for a highly compressible payload, want (0, 1)", frac)
+	}
+	// The measurement is byte-weighted across every encode of the codec
+	// value, so more traffic keeps it in range.
+	encodeThrough(t, c, compressiblePayload(8192))
+	if frac2, ok := CalibratedWireFrac(c); !ok || !(frac2 > 0 && frac2 < 1) {
+		t.Errorf("accumulated ratio %v, %v out of range", frac2, ok)
+	}
+}
+
+// TestDeflateStatsPerCodecValue: each Deflate() value owns its counters —
+// one shaped fidelity cell's traffic must not calibrate another's.
+func TestDeflateStatsPerCodecValue(t *testing.T) {
+	c1, c2 := Deflate(), Deflate()
+	encodeThrough(t, c1, compressiblePayload(4096))
+	if _, ok := CalibratedWireFrac(c1); !ok {
+		t.Error("encoded codec must be measured")
+	}
+	if frac, ok := CalibratedWireFrac(c2); ok || frac != 1 {
+		t.Errorf("untouched codec reports %v, %v — stats leaked across Deflate() values", frac, ok)
+	}
+}
+
+// TestCalibratedWireFracComposition: quantization's deterministic fraction
+// multiplies the measured deflate ratio of its inner codec, and control
+// messages or unmeasured stacks fall back to the static WireFrac.
+func TestCalibratedWireFracComposition(t *testing.T) {
+	d := Deflate()
+	q := Quant(QuantInt8, d)
+	if frac, ok := CalibratedWireFrac(q); ok || frac != 0.25 {
+		t.Fatalf("unmeasured quant+deflate: got %v, %v, want static 0.25, false", frac, ok)
+	}
+	encodeThrough(t, q, compressiblePayload(4096))
+	ratio, ok := CalibratedWireFrac(d)
+	if !ok {
+		t.Fatal("the composed encode must feed the inner deflate stats")
+	}
+	frac, ok := CalibratedWireFrac(q)
+	if !ok || frac != 0.25*ratio {
+		t.Errorf("quant8+deflate = %v, %v, want 0.25 x measured %v", frac, ok, ratio)
+	}
+	q16 := Quant(QuantFP16, d)
+	if frac, ok := CalibratedWireFrac(q16); !ok || frac != 0.5*ratio {
+		t.Errorf("quant16+deflate = %v, %v, want 0.5 x measured %v", frac, ok, ratio)
+	}
+	// Codecs with no deflate anywhere stay on the static table, unmeasured.
+	for _, c := range []Codec{Binary(), Quant(QuantInt8, nil)} {
+		frac, ok := CalibratedWireFrac(c)
+		if ok || frac != WireFrac(c) {
+			t.Errorf("%s: got %v, %v, want static %v, false", c.Name(), frac, ok, WireFrac(c))
+		}
+	}
+}

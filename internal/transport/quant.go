@@ -108,6 +108,28 @@ func WireFrac(c Codec) float64 {
 	return 1
 }
 
+// CalibratedWireFrac is WireFrac with deflate's measured compression ratio
+// folded in: where the static fraction conservatively charges deflate 1,
+// this substitutes the ratio the codec's DeflateStats actually observed on
+// this process's traffic, composing through quant wrappers the same way
+// wireFrac does. measured is false — and the value identical to
+// WireFrac(c) — until some deflate payload has been compressed, so callers
+// can use the value unconditionally and report whether it was calibrated.
+func CalibratedWireFrac(c Codec) (frac float64, measured bool) {
+	switch cc := c.(type) {
+	case deflateCodec:
+		return cc.stats.Ratio()
+	case quantCodec:
+		inner, ok := CalibratedWireFrac(cc.inner)
+		f := 0.25
+		if cc.mode == QuantFP16 {
+			f = 0.5
+		}
+		return f * inner, ok
+	}
+	return WireFrac(c), false
+}
+
 type quantEncoder struct {
 	mode  QuantMode
 	inner Encoder

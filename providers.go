@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"distredge/internal/runtime"
+	"distredge/internal/sim"
 	"distredge/internal/transport"
 )
 
@@ -115,16 +116,63 @@ func ParseChurn(spec string) ([]ChurnEvent, error) {
 // ParseObjective parses the command-line -objective flag shared by the
 // planning commands: "latency" (or empty, the default) plans for
 // sequential single-image latency, "ips" for sustained pipelined
-// throughput.
+// throughput, "slo" for throughput under a p95 latency bound (the bound
+// itself comes from the -slo flag via PlanConfig.SLOP95MS).
 func ParseObjective(spec string) (Objective, error) {
 	switch strings.TrimSpace(spec) {
 	case "", string(ObjectiveLatency):
 		return ObjectiveLatency, nil
 	case string(ObjectiveIPS):
 		return ObjectiveIPS, nil
+	case string(ObjectiveSLO):
+		return ObjectiveSLO, nil
 	default:
-		return "", fmt.Errorf("distredge: unknown objective %q (want latency|ips)", spec)
+		return "", fmt.Errorf("distredge: unknown objective %q (want latency|ips|slo)", spec)
 	}
+}
+
+// ParseTenants parses the command-line -tenants flag shared by the serving
+// commands: comma-separated "name:IMAGESxWEIGHT" entries, weight optional
+// (default 1), e.g. "heavy:24x1,small:4x4". Names must be unique and
+// non-empty, images >= 1, weights positive.
+func ParseTenants(spec string) ([]sim.TenantSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("distredge: empty tenant spec")
+	}
+	seen := make(map[string]bool)
+	var out []sim.TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, rest, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("distredge: bad tenant %q (want name:IMAGESxWEIGHT)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("distredge: duplicate tenant %q", name)
+		}
+		seen[name] = true
+		imgSpec, wSpec, hasW := strings.Cut(rest, "x")
+		images, err := strconv.Atoi(strings.TrimSpace(imgSpec))
+		if err != nil {
+			return nil, fmt.Errorf("distredge: bad image count in %q: %v", part, err)
+		}
+		if images < 1 {
+			return nil, fmt.Errorf("distredge: tenant %q needs at least one image", part)
+		}
+		weight := 1.0
+		if hasW {
+			weight, err = strconv.ParseFloat(strings.TrimSpace(wSpec), 64)
+			if err != nil {
+				return nil, fmt.Errorf("distredge: bad weight in %q: %v", part, err)
+			}
+			if weight <= 0 || weight != weight {
+				return nil, fmt.Errorf("distredge: weight in %q must be positive", part)
+			}
+		}
+		out = append(out, sim.TenantSpec{Name: name, Images: images, Weight: weight})
+	}
+	return out, nil
 }
 
 // ParseTransport builds the wire stack named by the command-line
