@@ -36,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn', 'objective', 'gateway', 'fidelity' or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 4,5,6,7,8,9,10,11,12,13,14,15,16, 'churn', 'objective', 'gateway', 'planner', 'fidelity' or 'all'")
 	budget := flag.String("budget", "quick", "planning budget: tiny|quick|full|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	reps := flag.Int("reps", 10, "LC-PSS repetitions for Fig. 6")
@@ -96,7 +96,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective", "gateway"}
+	figs := []string{"4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "churn", "objective", "gateway", "planner"}
 	if *fig != "all" {
 		figs = []string{*fig}
 	}
@@ -186,6 +186,9 @@ func codecTransportSpec(codec string) string {
 func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []float64, batches []int, codecs []string, trace bool, objectiveSpec string, objWindow int, tenants []sim.TenantSpec, sloMS float64) error {
 	if fig == "fidelity" {
 		return fidelity(b, batches, codecs, trace, objectiveSpec, objWindow, sloMS)
+	}
+	if fig == "planner" {
+		return planner(b)
 	}
 	if fig == "gateway" {
 		header("Gateway — multi-tenant admission: FIFO vs weighted fair queueing")
@@ -404,6 +407,71 @@ func run(fig string, b experiments.Budget, reps int, windows []int, failFracs []
 	default:
 		return fmt.Errorf("unknown figure %d", n)
 	}
+	return nil
+}
+
+// planner benchmarks the planner-as-a-service path: the same fleet corpus
+// is planned cold (empty cache, full search), re-planned exact (every fleet
+// a signature hit) and then neighbour fleets are planned warm (each search
+// seeded from its nearest cached corpus plan, on half the episode budget).
+// Each phase is wall-clocked into a plans/sec figure; the warm rows also
+// carry a full-budget cold reference so the quality delta of warm-starting
+// is visible (score/cold <= 1.00 means the half-budget warm search matched
+// or beat the full cold one).
+func planner(b experiments.Budget) error {
+	header("Planner — plan-cache service: cold vs exact-hit vs warm-start plans/sec")
+	sweep := experiments.NewPlannerSweep(b, 0)
+
+	phase := func(name string, f func() ([]experiments.PlannerRow, error)) ([]experiments.PlannerRow, float64, error) {
+		t0 := time.Now()
+		rows, err := f()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s phase: %w", name, err)
+		}
+		return rows, time.Since(t0).Seconds(), nil
+	}
+	coldRows, coldSec, err := phase("cold", sweep.Cold)
+	if err != nil {
+		return err
+	}
+	exactRows, exactSec, err := phase("exact", sweep.Exact)
+	if err != nil {
+		return err
+	}
+	warmRows, warmSec, err := phase("warm", sweep.Warm)
+	if err != nil {
+		return err
+	}
+	if err := sweep.WarmReference(warmRows); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-6s %-24s %-8s %12s %12s %10s\n",
+		"phase", "fleet", "outcome", "score(s/img)", "cold(s/img)", "score/cold")
+	for _, rows := range [][]experiments.PlannerRow{coldRows, exactRows, warmRows} {
+		for _, r := range rows {
+			coldCol, ratioCol := "-", "-"
+			if r.ColdScore > 0 {
+				coldCol = fmt.Sprintf("%.4f", r.ColdScore)
+				ratioCol = fmt.Sprintf("%.2f", r.Score/r.ColdScore)
+			}
+			fmt.Printf("%-6s %-24s %-8s %12.4f %12s %10s\n",
+				r.Phase, r.Fleet, r.Outcome, r.Score, coldCol, ratioCol)
+		}
+		fmt.Println()
+	}
+	plansPerSec := func(n int, sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(n) / sec
+	}
+	fmt.Printf("plans/sec: cold %.1f  exact-hit %.1f (%.0fx cold)  warm %.1f (%.1fx cold)\n",
+		plansPerSec(len(coldRows), coldSec),
+		plansPerSec(len(exactRows), exactSec), coldSec/exactSec,
+		plansPerSec(len(warmRows), warmSec), coldSec/warmSec)
+	st := sweep.Stats()
+	fmt.Printf("cache: %d hit(s), %d miss(es), %d warm hit(s)\n", st.Hits, st.Misses, st.WarmHits)
 	return nil
 }
 

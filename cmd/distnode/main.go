@@ -56,7 +56,8 @@ func main() {
 	transportSpec := flag.String("transport", "tcp", "wire stack: tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc")
 	trace := flag.Bool("trace", false, "shape the transport with the planned WiFi traces (charge trace latency per payload byte)")
 	postCodec := flag.Bool("postcodec", false, "with -trace: charge the bytes the codec puts on the wire instead of the raw payload (quant/deflate then shorten the shaped wire)")
-	batch := flag.Int("batch", 1, "step-batching cap: up to this many queued same-step images share one compute invocation (1 = off)")
+	batch := flag.Int("batch", 1, "step-batching cap: up to this many queued same-step images share one compute invocation (1 = off, 0 = adaptive: drain whatever queued)")
+	planCacheCap := flag.Int("plancache", 0, "plan through a plan cache bounding this many entries and re-plan recoveries from it (0 = off)")
 	tenantsSpec := flag.String("tenants", "", "serve through the multi-tenant gateway: comma-separated name:IMAGESxWEIGHT tenants (overrides -images)")
 	policy := flag.String("policy", "wfq", "with -tenants: admission policy across tenants (fifo|wfq)")
 	sloMS := flag.Float64("slo", 0, "p95 latency bound in wall-clock ms: per-request gateway deadline with -tenants, and the bound -objective slo plans under (0 = none)")
@@ -81,14 +82,27 @@ func main() {
 			fatal(err)
 		}
 	}
-	plan, err := sys.Plan(distredge.PlanConfig{
+	planCfg := distredge.PlanConfig{
 		Effort:          distredge.Effort(*effort),
 		Objective:       objective,
 		ObjectiveWindow: *objWindow,
 		SLOP95MS:        *sloMS,
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var planCache *distredge.PlanCache
+	var plan *distredge.Plan
+	if *planCacheCap > 0 {
+		planCache = distredge.NewPlanCache(*planCacheCap)
+		var outcome distredge.PlanOutcome
+		plan, outcome, err = sys.PlanCached(planCfg, planCache)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan cache: %s\n", outcome)
+	} else {
+		plan, err = sys.Plan(planCfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(plan.Describe(*model))
 
@@ -118,6 +132,12 @@ func main() {
 		Transport:         tr,
 		Objective:         rtObj,
 		Batch:             *batch,
+	}
+	if planCache != nil {
+		opts.Replan, err = planCache.CachedReplan(planCfg, nil)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *trace {
 		if *postCodec {

@@ -18,6 +18,7 @@ import (
 
 	"distredge"
 	"distredge/internal/runtime"
+	"distredge/internal/sim"
 )
 
 func main() {
@@ -42,7 +43,8 @@ func main() {
 	deploy := flag.Bool("deploy", false, "also deploy the plan on the real runtime and measure it")
 	transportSpec := flag.String("transport", "tcp", "with -deploy: wire stack tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc")
 	trace := flag.Bool("trace", false, "with -deploy: shape the transport with the planned WiFi traces")
-	batch := flag.Int("batch", 1, "with -deploy: step-batching cap — up to this many queued same-step images share one compute invocation (1 = off)")
+	batch := flag.Int("batch", 1, "with -deploy: step-batching cap — up to this many queued same-step images share one compute invocation (1 = off, 0 = adaptive: drain whatever queued)")
+	planCacheCap := flag.Int("plancache", 0, "plan through a plan cache bounding this many entries, and re-plan churn recoveries from it (0 = off)")
 	timescale := flag.Float64("timescale", 0.05, "with -deploy: compute emulation time scale")
 	bytescale := flag.Float64("bytescale", 0.001, "with -deploy: payload byte scale")
 	flag.Parse()
@@ -69,6 +71,17 @@ func main() {
 		fatal(err)
 	}
 
+	planCfg := distredge.PlanConfig{
+		Alpha:           *alpha,
+		Effort:          distredge.Effort(*effort),
+		Objective:       objective,
+		ObjectiveWindow: *objWindow,
+		SLOP95MS:        *sloMS,
+	}
+	var planCache *distredge.PlanCache
+	if *planCacheCap > 0 {
+		planCache = distredge.NewPlanCache(*planCacheCap)
+	}
 	var plan *distredge.Plan
 	if *loadPath != "" {
 		data, err := os.ReadFile(*loadPath)
@@ -79,14 +92,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	} else if planCache != nil {
+		var outcome distredge.PlanOutcome
+		plan, outcome, err = sys.PlanCached(planCfg, planCache)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan cache: %s\n", outcome)
 	} else {
-		plan, err = sys.Plan(distredge.PlanConfig{
-			Alpha:           *alpha,
-			Effort:          distredge.Effort(*effort),
-			Objective:       objective,
-			ObjectiveWindow: *objWindow,
-			SLOP95MS:        *sloMS,
-		})
+		plan, err = sys.Plan(planCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +143,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		crep, err := sys.EvaluateChurn(plan, *images, *window, events, !*noRecover)
+		var replan sim.ReplanFunc
+		if planCache != nil {
+			replan, err = planCache.CachedReplan(planCfg, nil)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		crep, err := sys.EvaluateChurnReplan(plan, *images, *window, events, !*noRecover, replan)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,6 +185,12 @@ func main() {
 			fatal(err)
 		}
 		opts := runtime.Options{TimeScale: *timescale, BytesScale: *bytescale, Objective: rtObj, Batch: *batch}
+		if planCache != nil {
+			opts.Replan, err = planCache.CachedReplan(planCfg, nil)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		if *trace {
 			opts.Transport = sys.ShapedTransport(tr, opts)
 		} else {
@@ -193,6 +220,12 @@ func main() {
 		fmt.Print(gantt)
 	}
 
+	if planCache != nil {
+		st := planCache.Stats()
+		fmt.Printf("plan cache: %d entr%s, %d hit(s), %d miss(es), %d warm hit(s)\n",
+			st.Entries, plural(st.Entries, "y", "ies"), st.Hits, st.Misses, st.WarmHits)
+	}
+
 	if *withBaselines {
 		for _, name := range distredge.Baselines() {
 			bp, err := sys.Baseline(name)
@@ -207,6 +240,13 @@ func main() {
 				name, brep.IPS, brep.MeanLatMS, brep.MaxCompMS, brep.MaxTransMS)
 		}
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func fatal(err error) {

@@ -28,6 +28,7 @@ import (
 	"distredge/internal/experiments"
 	"distredge/internal/network"
 	"distredge/internal/partition"
+	"distredge/internal/plancache"
 	"distredge/internal/runtime"
 	"distredge/internal/sim"
 	"distredge/internal/splitter"
@@ -233,6 +234,110 @@ func (s *System) Plan(cfg PlanConfig) (*Plan, error) {
 	return &Plan{Method: method, Strategy: strat}, nil
 }
 
+// PlanCache is a bounded, concurrency-safe cache of planning results keyed
+// by the canonical fleet signature (device set, network regime bucket,
+// model, objective — see internal/plancache). Share one across PlanCached
+// calls and deployments: a repeat request for a fleet the cache has seen
+// returns in microseconds instead of re-running the OSDS search, and a
+// near-miss fleet warm-starts its search from the nearest cached plan.
+type PlanCache struct {
+	c *plancache.Cache
+}
+
+// NewPlanCache builds a plan cache bounding at most `capacity` entries
+// (LRU eviction); capacity <= 0 uses the default of 256.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: plancache.New(capacity)}
+}
+
+// PlanCacheStats is a point-in-time snapshot of a cache's counters.
+type PlanCacheStats struct {
+	Entries   int    // plans currently cached
+	Hits      uint64 // exact-signature hits (no search ran)
+	Misses    uint64 // lookups that found nothing exact
+	WarmHits  uint64 // misses that warm-started from a neighbour
+	Evictions uint64 // entries dropped by the LRU bound
+}
+
+// Stats snapshots the cache counters.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	s := pc.c.Stats()
+	return PlanCacheStats{
+		Entries:   pc.c.Len(),
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		WarmHits:  s.WarmHits,
+		Evictions: s.Evictions,
+	}
+}
+
+// PlanOutcome reports how PlanCached served a request: "hit" (exact cached
+// plan, no search), "warm" (search warm-started from the nearest cached
+// neighbour) or "cold" (search from scratch).
+type PlanOutcome string
+
+// PlanCached outcomes.
+const (
+	PlanHit  PlanOutcome = PlanOutcome(plancache.OutcomeHit)
+	PlanWarm PlanOutcome = PlanOutcome(plancache.OutcomeWarm)
+	PlanCold PlanOutcome = PlanOutcome(plancache.OutcomeCold)
+)
+
+// PlanCached is Plan through the plan cache: an exact fleet-signature hit
+// returns the cached strategy without searching, and a miss plans (warm-
+// started when the cache holds a comparable neighbour) and caches the
+// result for the next request. Concurrent PlanCached calls against the
+// same cache are safe; identical fleets are deduplicated single-flight.
+func (s *System) PlanCached(cfg PlanConfig, pc *PlanCache) (*Plan, PlanOutcome, error) {
+	if pc == nil {
+		p, err := s.Plan(cfg)
+		return p, PlanCold, err
+	}
+	b, err := cfg.Effort.budget()
+	if err != nil {
+		return nil, "", err
+	}
+	b.Seed = s.seed
+	obj, err := cfg.simObjective()
+	if err != nil {
+		return nil, "", err
+	}
+	svc, err := plancache.NewService(plancache.Config{
+		Cache:   pc.c,
+		Planner: experiments.Planner(b, cfg.Alpha),
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := svc.Plan(s.env, obj)
+	if err != nil {
+		return nil, "", err
+	}
+	method := experiments.MethodDistrEdge
+	if obj != nil {
+		method = experiments.MethodDistrEdge + "-" + obj.Name()
+	}
+	// The cache owns its copy; hand the caller an independent one.
+	return &Plan{Method: method, Strategy: res.Strategy.Clone()}, PlanOutcome(res.Outcome), nil
+}
+
+// CachedReplan wraps the recovery re-planner a deployment uses
+// (runtime.Options.Replan) with the plan cache: a recurring survivor-fleet
+// shape re-plans from the cache in lookup time instead of re-running the
+// search. inner nil falls back to the profile-guided balanced re-planner.
+// cfg carries the objective the deployment serves, so cached re-plans are
+// scored and keyed consistently with PlanCached.
+func (pc *PlanCache) CachedReplan(cfg PlanConfig, inner sim.ReplanFunc) (sim.ReplanFunc, error) {
+	obj, err := cfg.simObjective()
+	if err != nil {
+		return nil, err
+	}
+	if inner == nil {
+		inner = splitter.ObjectiveReplan(obj)
+	}
+	return plancache.CachedReplan(pc.c, obj, inner), nil
+}
+
 // Baselines lists the seven comparison methods of the paper (Section V-B).
 func Baselines() []string {
 	out := make([]string, 0, 7)
@@ -412,6 +517,17 @@ type ChurnReport struct {
 // the in-flight images; without it a device drop truncates the stream —
 // the runtime's sticky-failure semantics.
 func (s *System) EvaluateChurn(p *Plan, images, window int, events []ChurnEvent, recover bool) (ChurnReport, error) {
+	return s.EvaluateChurnReplan(p, images, window, events, recover, nil)
+}
+
+// EvaluateChurnReplan is EvaluateChurn with the recovery re-planner
+// pluggable: nil uses the profile-guided balanced default. Pass a
+// PlanCache.CachedReplan to model a fleet whose recurring churn patterns
+// re-plan from the plan cache.
+func (s *System) EvaluateChurnReplan(p *Plan, images, window int, events []ChurnEvent, recover bool, replan sim.ReplanFunc) (ChurnReport, error) {
+	if replan == nil {
+		replan = splitter.BalancedReplan
+	}
 	simEvents := make([]sim.ChurnEvent, len(events))
 	for i, e := range events {
 		ev, err := e.toSim()
@@ -423,7 +539,7 @@ func (s *System) EvaluateChurn(p *Plan, images, window int, events []ChurnEvent,
 	res, err := s.env.ChurnStream(p.Strategy, images, window, 0, simEvents, sim.ChurnOptions{
 		Recover:   recover,
 		ReplanSec: experiments.ChurnReplanChargeSec,
-		Replan:    splitter.BalancedReplan,
+		Replan:    replan,
 	})
 	if err != nil {
 		return ChurnReport{}, err

@@ -266,3 +266,69 @@ func TestEvaluateChurn(t *testing.T) {
 		t.Error("unknown event kind must error")
 	}
 }
+
+// TestPlanCachedHitAndChurnReplan covers the public plan-cache surface:
+// the second PlanCached for an identical system is an exact hit returning
+// an equivalent plan without re-searching, the cache counters read
+// consistently, and the cached re-planner drives EvaluateChurnReplan
+// through a recovery.
+func TestPlanCachedHitAndChurnReplan(t *testing.T) {
+	cache := NewPlanCache(0)
+	cfg := PlanConfig{Effort: EffortTiny}
+	sys, err := New("vgg16", fourProviders(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, out, err := sys.PlanCached(cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != PlanCold {
+		t.Fatalf("first planning outcome = %q, want %q", out, PlanCold)
+	}
+	// A fresh System over the same fleet must key to the same signature.
+	sys2, err := New("vgg16", fourProviders(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, out, err := sys2.PlanCached(cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != PlanHit {
+		t.Fatalf("repeat planning outcome = %q, want %q", out, PlanHit)
+	}
+	if got, want := hit.Describe("vgg16"), cold.Describe("vgg16"); got != want {
+		t.Fatalf("cached plan differs from the planned one:\n%s\nvs\n%s", got, want)
+	}
+	// The returned plan is the caller's: mutating it must not poison the cache.
+	hit.Strategy.Splits[0][0]++
+	again, out, err := sys.PlanCached(cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != PlanHit || again.Describe("vgg16") != cold.Describe("vgg16") {
+		t.Fatal("cache entry mutated through a returned plan")
+	}
+	st := cache.Stats()
+	if st.Entries != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 entry, 2 hits, 1 miss", st)
+	}
+
+	// Cached recovery re-planning through the public churn evaluator.
+	replan, err := cache.CachedReplan(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []ChurnEvent{{Kind: "drop", Device: 0, AtSec: 0.2}}
+	rep, err := sys.EvaluateChurnReplan(cold, 40, 4, events, true, replan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 40 || rep.Recoveries != 1 {
+		t.Fatalf("cached-replan churn report wrong: %+v", rep)
+	}
+	if cache.Stats().Entries < 2 {
+		t.Error("recovery re-plan did not cache the survivor-fleet plan")
+	}
+}

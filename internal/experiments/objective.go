@@ -76,6 +76,84 @@ func PlanObjective(env *sim.Env, b Budget, alpha float64, obj sim.Objective) (*s
 	return best, nil
 }
 
+// PlanObjectiveInit is PlanObjective with a warm-start seed: init is a
+// known-good strategy for this exact fleet shape (same provider count) that
+// the search explores outward from. The seed's splits feed the splitter's
+// Config.InitSplits (scheduled as the first warm episode, so the
+// best-strategy tracker is anchored from episode 0), the seed's own volume
+// boundaries join the boundary sets searched, and the seed itself is scored
+// as a candidate — so the returned plan never scores worse than the seed
+// under the requested objective. Because the seed anchors the search,
+// warm-started searches run on half the episode budget: that is where the
+// plan-cache's warm-start throughput win comes from (measured by
+// BenchmarkPlannerService and the `distbench -fig planner` sweep). A nil
+// init is exactly PlanObjective.
+func PlanObjectiveInit(env *sim.Env, b Budget, alpha float64, obj sim.Objective, init *strategy.Strategy) (*strategy.Strategy, error) {
+	if init == nil {
+		return PlanObjective(env, b, alpha, obj)
+	}
+	n := env.NumProviders()
+	if err := init.Validate(env.Model, n); err != nil {
+		return nil, fmt.Errorf("experiments: warm-start seed: %w", err)
+	}
+	lcp, err := lcpssSearch(env, b, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LC-PSS: %w", err)
+	}
+	boundarySets := [][]int{lcp}
+	if !equalBoundaries(init.Boundaries, lcp) {
+		boundarySets = append(boundarySets, init.Boundaries)
+	}
+	if !sim.IsLatencyObjective(obj) {
+		sb := StageBoundaries(env.Model, n)
+		fresh := true
+		for _, bs := range boundarySets {
+			if equalBoundaries(bs, sb) {
+				fresh = false
+			}
+		}
+		if fresh {
+			boundarySets = append(boundarySets, sb)
+		}
+	}
+	scorer := sim.DefaultObjective(obj)
+	var best *strategy.Strategy
+	bestScore := math.Inf(1)
+	consider := func(s *strategy.Strategy) error {
+		sc, err := scorer.Score(env, s, 0)
+		if err != nil {
+			return err
+		}
+		if sc < bestScore {
+			best, bestScore = s, sc
+		}
+		return nil
+	}
+	if err := consider(init); err != nil {
+		return nil, err
+	}
+	wb := b
+	wb.Episodes = (b.Episodes + 1) / 2
+	for _, boundaries := range boundarySets {
+		cfg := osdsConfig(wb, n, wb.Seed)
+		cfg.Objective = obj
+		cfg.InitSplits = init.Splits
+		res, err := splitter.Search(env, boundaries, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: warm OSDS (%s): %w", scorer.Name(), err)
+		}
+		if err := consider(res.Strategy); err != nil {
+			return nil, err
+		}
+		if !sim.IsLatencyObjective(obj) {
+			if err := consider(StageStrategy(env.Model, boundaries, n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return best, nil
+}
+
 func equalBoundaries(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

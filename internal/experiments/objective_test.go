@@ -127,6 +127,7 @@ func TestObjectiveDifferentialSimVsRuntime(t *testing.T) {
 		opts := runtime.Options{
 			TimeScale:         timeScale,
 			BytesScale:        bytesScale,
+			Batch:             1,  // the sim predictions compared against are unbatched
 			HeartbeatInterval: -1, // charged links must not starve liveness
 		}
 		opts.Transport = transport.NewShaped(transport.NewPooledInproc(nil), env.Net, timeScale, bytesScale, 0)

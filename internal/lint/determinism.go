@@ -19,6 +19,7 @@ var deterministicPkgs = map[string]bool{
 	"distredge/internal/strategy":    true,
 	"distredge/internal/rl":          true,
 	"distredge/internal/experiments": true,
+	"distredge/internal/plancache":   true,
 	"distredge/internal/partition":   true,
 	"distredge/internal/network":     true,
 	"distredge/internal/nn":          true,

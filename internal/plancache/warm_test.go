@@ -1,0 +1,61 @@
+package plancache_test
+
+import (
+	"testing"
+
+	"distredge/internal/cnn"
+	"distredge/internal/device"
+	"distredge/internal/network"
+	"distredge/internal/sim"
+	"distredge/internal/splitter"
+	"distredge/internal/strategy"
+)
+
+func warmEnv(bw float64, seed int64) *sim.Env {
+	return &sim.Env{
+		Model:   cnn.VGG16(),
+		Devices: device.AsModels(device.Fleet(device.Xavier, device.Xavier, device.Nano, device.Nano)),
+		Net:     network.NewStable([]float64{bw, bw, bw, bw}, 10, seed),
+	}
+}
+
+// TestWarmStartCutsEpisodesToBest is the warm-start acceptance property: a
+// search seeded with a neighbour fleet's strategy reaches the cold search's
+// best objective score within half the episodes.
+func TestWarmStartCutsEpisodesToBest(t *testing.T) {
+	cfg := splitter.Config{Episodes: 40, Hidden: []int{16, 16}, Batch: 16, Seed: 1, WarmStart: true}
+	boundaries := strategy.PoolBoundaries(cnn.VGG16())
+
+	donor, err := splitter.Search(warmEnv(100, 3), boundaries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := warmEnv(150, 3)
+	cold, err := splitter.Search(env, boundaries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.InitSplits = donor.Strategy.Splits
+	warm, err := splitter.Search(env, boundaries, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BestLatency > cold.BestLatency {
+		t.Fatalf("warm best %.6f worse than cold best %.6f", warm.BestLatency, cold.BestLatency)
+	}
+	reached := -1
+	for i, s := range warm.Episodes {
+		if s <= cold.BestLatency {
+			reached = i + 1
+			break
+		}
+	}
+	if reached < 0 {
+		t.Fatalf("warm search never reached the cold best %.6f (warm best %.6f)", cold.BestLatency, warm.BestLatency)
+	}
+	if reached > cfg.Episodes/2 {
+		t.Fatalf("warm search needed %d episodes to reach the cold best, want <= %d", reached, cfg.Episodes/2)
+	}
+	t.Logf("cold best %.6f in %d episodes; warm reached it in %d", cold.BestLatency, cfg.Episodes, reached)
+}

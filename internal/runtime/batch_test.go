@@ -9,14 +9,15 @@ import (
 )
 
 // TestRunPipelinedBatchOneMatchesDefault is the equivalence property test:
-// Options.Batch = 1 (and the zero value) must take the pre-batching compute
-// path — every compute invocation covers exactly one step instance, the
-// emulated cost per step is unchanged, and the run completes identically.
+// Options.Batch = 1 (and any negative value) must take the pre-batching
+// compute path — every compute invocation covers exactly one step instance,
+// the emulated cost per step is unchanged, and the run completes
+// identically.
 func TestRunPipelinedBatchOneMatchesDefault(t *testing.T) {
 	env := testEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
 	s := stageStrategy(env, env.Model, []int{0, 10, 14, 18})
 	const images, window = 8, 4
-	for _, batch := range []int{0, 1} {
+	for _, batch := range []int{1, -1} {
 		opts := fastOpts()
 		opts.Batch = batch
 		cl, err := Deploy(env, s, opts)
@@ -46,6 +47,48 @@ func TestRunPipelinedBatchOneMatchesDefault(t *testing.T) {
 			t.Errorf("batch=%d: %d steps over %d invocations — must be 1:1 without batching", batch, totalSteps, totalInv)
 		}
 		cl.Close()
+	}
+}
+
+// TestRunPipelinedAdaptiveBatchDrains checks the zero value's adaptive cap:
+// Batch = 0 drains whatever queued behind a busy device — invocations
+// amortise like a fixed cap, outputs still arrive per image, and no
+// configured bound shows up in the stats.
+func TestRunPipelinedAdaptiveBatchDrains(t *testing.T) {
+	env := testEnv(device.Xavier, device.Nano, device.TX2, device.Nano)
+	s := stageStrategy(env, env.Model, []int{0, 10, 14, 18})
+	const images, window = 8, 4
+	opts := fastOpts()
+	opts.Batch = 0
+	cl, err := Deploy(env, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stats, err := cl.RunPipelined(images, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != images {
+		t.Fatalf("completed %d of %d", stats.Completed, images)
+	}
+	if stats.Batch != 0 {
+		t.Errorf("RunStats.Batch = %d, want the adaptive 0 to round-trip", stats.Batch)
+	}
+	totalSteps, totalInv, maxBatch := 0, 0, 0
+	for _, ps := range cl.Stats() {
+		totalSteps += ps.StepsExecuted
+		totalInv += ps.Invocations
+		if ps.MaxBatch > maxBatch {
+			maxBatch = ps.MaxBatch
+		}
+	}
+	if totalSteps != images*len(cl.Stats()) {
+		t.Errorf("executed %d steps, want one per (image, provider) = %d", totalSteps, images*len(cl.Stats()))
+	}
+	if maxBatch <= 1 || totalInv >= totalSteps {
+		t.Errorf("adaptive cap never coalesced: max batch %d, %d invocations for %d steps",
+			maxBatch, totalInv, totalSteps)
 	}
 }
 

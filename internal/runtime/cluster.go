@@ -83,16 +83,19 @@ func (q *workQueue) pop() (workItem, bool) {
 	return w, true
 }
 
-// takeSameStep dequeues up to max further items for the given step,
-// preserving the queue order of everything it leaves behind. It never
-// blocks: it only coalesces work that already queued while the compute
-// thread was busy, which is exactly the population batching can amortise —
-// an empty queue means the device is keeping up and there is nothing to
-// batch. The in-place filter writes behind its read cursor, so no
-// allocation and no reordering.
+// takeSameStep dequeues up to max further items for the given step
+// (negative max = no bound, the adaptive cap's drain), preserving the queue
+// order of everything it leaves behind. It never blocks: it only coalesces
+// work that already queued while the compute thread was busy, which is
+// exactly the population batching can amortise — an empty queue means the
+// device is keeping up and there is nothing to batch. The in-place filter
+// writes behind its read cursor, so no allocation and no reordering.
 func (q *workQueue) takeSameStep(step, max int) []workItem {
-	if max <= 0 {
+	if max == 0 {
 		return nil
+	}
+	if max < 0 {
+		max = int(^uint(0) >> 1)
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -151,7 +154,7 @@ type Provider struct {
 	minImg uint32                 // guarded by mu; images below this are gc'ed; late chunks dropped
 
 	hb     time.Duration // heartbeat period; 0 = disabled
-	batch  int           // per-step image batching cap; <= 1 disables
+	batch  int           // per-step image batching cap; 1 disables, 0 adaptive
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed sync.Once
@@ -328,7 +331,7 @@ func (p *Provider) deliver(ch Chunk) {
 
 // computeLoop is the compute thread: it emulates the split-part execution
 // and hands finished outputs to the send thread (or back to assembly for
-// self-routes). With Options.Batch > 1 it coalesces same-step work items
+// self-routes). With Options.Batch != 1 it coalesces same-step work items
 // that queued while it was busy into one invocation charged the sublinear
 // sim.BatchedComputeSec cost; outputs are still emitted per image, so
 // everything downstream of the compute thread is oblivious to batching.
@@ -341,8 +344,9 @@ func (p *Provider) computeLoop() {
 			return
 		}
 		batch = append(batch[:0], w)
-		if p.batch > 1 {
-			batch = append(batch, p.work.takeSameStep(w.step, p.batch-1)...)
+		if p.batch != 1 {
+			lim := p.batch - 1 // p.batch == 0: adaptive, drain all (lim -1)
+			batch = append(batch, p.work.takeSameStep(w.step, lim)...)
 		}
 		st := &p.plan.Steps[w.step]
 		cost := st.ComputeSec

@@ -51,8 +51,11 @@ type Options struct {
 	// emulated invocation charged sim.BatchedComputeSec — the per-step
 	// fixed cost once plus a marginal share per image. Outputs are still
 	// emitted per image, so assembly, gc watermarks, churn recovery and
-	// re-scatter are untouched. 0 or 1 disables batching (bit-identical to
-	// the pre-batching compute loop).
+	// re-scatter are untouched. 1 (or negative) disables batching
+	// (bit-identical to the pre-batching compute loop); 0 — the zero value
+	// — is the adaptive cap: the compute thread drains every same-step
+	// item that queued while it was busy, with no size bound. The sim
+	// mirror is PipelineConfig.Batch.
 	Batch int
 
 	// Recover turns on online churn recovery: when a provider is declared
@@ -109,7 +112,7 @@ func (o Options) withDefaults() Options {
 	if o.HeartbeatMisses <= 0 {
 		o.HeartbeatMisses = 6
 	}
-	if o.Batch <= 0 {
+	if o.Batch < 0 {
 		o.Batch = 1
 	}
 	if o.Transport == nil {

@@ -165,7 +165,7 @@ func TestClusterSlowDeviceShowsInLatency(t *testing.T) {
 	bound := []int{0, 10, 14, 18}
 
 	run := func(env *sim.Env) float64 {
-		opts := Options{TimeScale: 0.02, BytesScale: 0.001, Transport: testTransport()}
+		opts := Options{TimeScale: 0.02, BytesScale: 0.001, Batch: 1, Transport: testTransport()}
 		s := equalStrategy(env, bound)
 		cl, err := Deploy(env, s, opts)
 		if err != nil {

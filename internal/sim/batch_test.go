@@ -95,6 +95,20 @@ func TestPipelineBatchingIncreasesThroughput(t *testing.T) {
 	if b8.SteadyIPS < b4.SteadyIPS {
 		t.Errorf("batch 8 SteadyIPS %.3f below batch 4 %.3f", b8.SteadyIPS, b4.SteadyIPS)
 	}
+	// The adaptive cap (Batch 0) is bit-identical to a cap no batch can
+	// reach — an open batch can never span more images than the stream
+	// holds — and never slower than any finite cap.
+	adaptive, capped := run(0), run(images)
+	if adaptive.TotalSec != capped.TotalSec || adaptive.SteadyIPS != capped.SteadyIPS {
+		t.Errorf("adaptive batch diverges from the unreachable cap: total %.17g vs %.17g",
+			adaptive.TotalSec, capped.TotalSec)
+	}
+	if adaptive.SteadyIPS < b8.SteadyIPS {
+		t.Errorf("adaptive SteadyIPS %.3f below batch 8 %.3f", adaptive.SteadyIPS, b8.SteadyIPS)
+	}
+	if adaptive.Batch != 0 {
+		t.Errorf("result Batch = %d, want the adaptive 0 to round-trip", adaptive.Batch)
+	}
 	// Window 1: one image in flight, nothing queues, batching is inert.
 	w1, err := env.PipelineStreamOpts(s, PipelineConfig{Images: 30, Window: 1, Batch: 8})
 	if err != nil {
@@ -119,7 +133,7 @@ func TestPipelineWireFracShrinksTransfers(t *testing.T) {
 	s := equalSplitStrategy(env.Model, strategy.PoolBoundaries(env.Model), 2)
 	run := func(frac float64) PipelineResult {
 		t.Helper()
-		res, err := env.PipelineStreamOpts(s, PipelineConfig{Images: 30, Window: 4, WireFrac: frac})
+		res, err := env.PipelineStreamOpts(s, PipelineConfig{Images: 30, Window: 4, Batch: 1, WireFrac: frac})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -66,8 +66,8 @@ type MultiStreamResult struct {
 }
 
 // MultiStreamConfig parameterises MultiStreamOpts. Batch and WireFrac mean
-// exactly what they mean in PipelineConfig (zero values select the
-// bit-identical defaults).
+// exactly what they mean in PipelineConfig (Batch 0 drains adaptively,
+// 1/negative disables batching; WireFrac 0 means raw bytes).
 type MultiStreamConfig struct {
 	Tenants  []TenantSpec
 	Policy   string // AdmitFIFO (default) or AdmitWFQ
@@ -81,7 +81,7 @@ type MultiStreamConfig struct {
 // backlogs at once — the simulator mirror of the runtime gateway
 // (internal/gateway). See MultiStreamOpts.
 func (e *Env) MultiStream(s *strategy.Strategy, tenants []TenantSpec, policy string, window int) (MultiStreamResult, error) {
-	return e.MultiStreamOpts(s, MultiStreamConfig{Tenants: tenants, Policy: policy, Window: window})
+	return e.MultiStreamOpts(s, MultiStreamConfig{Tenants: tenants, Policy: policy, Window: window, Batch: 1})
 }
 
 // MultiStreamOpts admits many tenants' requests into one shared pipeline:
@@ -109,7 +109,7 @@ func (e *Env) MultiStreamOpts(s *strategy.Strategy, cfg MultiStreamConfig) (Mult
 		return MultiStreamResult{}, fmt.Errorf("sim: unknown admission policy %q (want %s|%s)", cfg.Policy, AdmitFIFO, AdmitWFQ)
 	}
 	batch := cfg.Batch
-	if batch <= 0 {
+	if batch < 0 {
 		batch = 1
 	}
 	wire := cfg.WireFrac

@@ -50,13 +50,14 @@ type pipeState struct {
 	linkEnd  []float64
 	upEnd    float64
 
-	// Step batching (batch > 1 only; batch 1 keeps the float operations of
+	// Step batching (batch != 1 only; batch 1 keeps the float operations of
 	// the unbatched engine untouched). stepRuns counts, per (device, volume)
 	// pair, how many consecutive images joined the currently open batch of
 	// that step, mirroring the runtime's workQueue coalescing: a step whose
 	// inputs arrive while the device is still busy queues behind it, and up
 	// to `batch` queued images of the same step run as one invocation — the
-	// first pays the full step cost, the rest only the marginal cost.
+	// first pays the full step cost, the rest only the marginal cost. batch
+	// 0 is the adaptive cap: an open batch admits every queued image.
 	batch    int
 	stride   int // stepRuns row stride: volumes + 1 (synthetic FC generation)
 	stepRuns []int
@@ -79,7 +80,7 @@ func newPipeState(n, numVols, batch int, wire float64) *pipeState {
 		stride:   numVols + 1,
 		wire:     wire,
 	}
-	if batch > 1 {
+	if batch != 1 {
 		ps.stepRuns = make([]int, n*ps.stride)
 	}
 	for i := range ps.devFree {
@@ -96,10 +97,10 @@ func newPipeState(n, numVols, batch int, wire float64) *pipeState {
 // while the device was still busy — the precondition for the runtime's
 // queue coalescing. A queued step joins the open (i, v) batch while it has
 // room and pays only the marginal cost; otherwise it starts (or restarts)
-// the batch and pays the full step cost. Only called when ps.batch > 1.
+// the batch and pays the full step cost. Only called when ps.batch != 1.
 func (ps *pipeState) batchedComp(i, v int, comp float64, queued bool) float64 {
 	k := i*ps.stride + v
-	if queued && ps.stepRuns[k] >= 1 && ps.stepRuns[k] < ps.batch {
+	if queued && ps.stepRuns[k] >= 1 && (ps.batch == 0 || ps.stepRuns[k] < ps.batch) {
 		ps.stepRuns[k]++
 		return comp * (1 - BatchFixedFrac)
 	}
@@ -194,7 +195,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 				start = p.busy[i]
 			}
 			comp := cp.comp
-			if ps.batch > 1 {
+			if ps.batch != 1 {
 				comp = ps.batchedComp(i, v, comp, p.busy[i] > arrive)
 			}
 			finish := start + comp
@@ -242,7 +243,7 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 			start = p.busy[p.fcOwner]
 		}
 		fcLat := p.fcLat
-		if ps.batch > 1 {
+		if ps.batch != 1 {
 			fcLat = ps.batchedComp(p.fcOwner, len(p.vols), fcLat, p.busy[p.fcOwner] > ready)
 		}
 		done := start + fcLat
@@ -292,13 +293,12 @@ func (p *CompiledPlan) runPipelined(at float64, ps *pipeState) float64 {
 // scatter uplink — so the result measures the sustained images/sec the
 // deployment can serve plus the per-image latency distribution under load.
 func (e *Env) PipelineStream(s *strategy.Strategy, images, window int, start float64) (PipelineResult, error) {
-	return e.PipelineStreamOpts(s, PipelineConfig{Images: images, Window: window, Start: start})
+	return e.PipelineStreamOpts(s, PipelineConfig{Images: images, Window: window, Start: start, Batch: 1})
 }
 
 // PipelineConfig parameterises PipelineStreamOpts beyond the basic
-// images/window/start triple. The zero value of the optional fields selects
-// today's behaviour: Batch <= 0 means 1 (no step batching) and WireFrac 0
-// means 1 (raw activation bytes on every link).
+// images/window/start triple. WireFrac 0 means 1 (raw activation bytes on
+// every link); Batch 0 means adaptive draining (see Batch).
 type PipelineConfig struct {
 	Images int
 	Window int
@@ -306,7 +306,10 @@ type PipelineConfig struct {
 	// Batch is the per-step image batching the devices run with: up to
 	// Batch images whose inputs queued behind a busy device coalesce into
 	// one step invocation under the sublinear BatchedComputeSec cost model.
-	// 1 (or <= 0) reproduces PipelineStream bit-for-bit.
+	// 1 (or negative) disables batching and reproduces PipelineStream
+	// bit-for-bit. 0 — the zero value — is the adaptive cap, mirroring the
+	// runtime's Options.Batch: a step drains whatever queued behind the
+	// busy device, joining the open batch without a size bound.
 	Batch int
 
 	// WireFrac scales every transfer's byte count, modelling a wire codec
@@ -330,7 +333,7 @@ func (e *Env) PipelineStreamOpts(s *strategy.Strategy, cfg PipelineConfig) (Pipe
 		return PipelineResult{}, fmt.Errorf("sim: window must be >= 1, got %d", window)
 	}
 	batch := cfg.Batch
-	if batch <= 0 {
+	if batch < 0 {
 		batch = 1
 	}
 	wire := cfg.WireFrac
