@@ -112,14 +112,21 @@ type Gateway struct {
 	byName  map[string]int
 
 	mu       sync.Mutex
-	queues   [][]*request    // guarded by mu; per-tenant FIFO backlogs
+	queues   []ring          // guarded by mu; per-tenant FIFO backlog deques
+	heap     []int           // guarded by mu; admissible tenants, min-heap in policy order (sched.go)
+	heapIdx  []int           // guarded by mu; tenant -> heap position, -1 = absent
 	inflight int             // guarded by mu; requests on the backend
 	tinfl    []int           // guarded by mu; per-tenant in-flight counts
 	vserved  []float64       // guarded by mu; WFQ virtual service charged
 	nextSeq  uint64          // guarded by mu; global enqueue order
 	served   [][]float64     // guarded by mu; latencies (sec) per tenant
 	counts   []TenantSummary // guarded by mu; running outcome counters
+	scratch  []float64       // guarded by mu; Summary's reusable sort buffer
 	closed   bool            // guarded by mu
+
+	// deadlined lists the tenants with deadlines, immutable after New: the
+	// expiry sweep visits only them.
+	deadlined []int
 
 	wake chan struct{} // buffered(1): kicks the scheduler
 	done chan struct{}
@@ -129,6 +136,18 @@ type Gateway struct {
 // New starts a gateway over the backend. Tenant names must be unique and
 // non-empty.
 func New(be Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
+	g, err := newGateway(be, cfg, tenants)
+	if err != nil {
+		return nil, err
+	}
+	g.wg.Add(1)
+	go g.schedule()
+	return g, nil
+}
+
+// newGateway validates and builds the gateway state without starting the
+// scheduler — the form the equivalence tests and benchmarks drive by hand.
+func newGateway(be Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
 	if be == nil {
 		return nil, fmt.Errorf("gateway: nil backend")
 	}
@@ -149,7 +168,8 @@ func New(be Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
 		cfg:     cfg,
 		tenants: append([]TenantConfig(nil), tenants...),
 		byName:  make(map[string]int, len(tenants)),
-		queues:  make([][]*request, len(tenants)),
+		queues:  make([]ring, len(tenants)),
+		heapIdx: make([]int, len(tenants)),
 		tinfl:   make([]int, len(tenants)),
 		vserved: make([]float64, len(tenants)),
 		served:  make([][]float64, len(tenants)),
@@ -172,10 +192,12 @@ func New(be Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
 		if t.Window <= 0 {
 			t.Window = cfg.Window
 		}
+		if t.Deadline > 0 {
+			g.deadlined = append(g.deadlined, i)
+		}
+		g.heapIdx[i] = -1
 		g.counts[i].Tenant = t.Name
 	}
-	g.wg.Add(1)
-	go g.schedule()
 	return g, nil
 }
 
@@ -195,8 +217,9 @@ func (g *Gateway) Enqueue(tenant string) (<-chan Result, error) {
 	}
 	r.seq = g.nextSeq
 	g.nextSeq++
-	g.queues[t] = append(g.queues[t], r)
+	g.queues[t].push(r)
 	g.counts[t].Enqueued++
+	g.heapSyncLocked(t)
 	g.mu.Unlock()
 	g.kick()
 	return r.res, nil
@@ -217,88 +240,61 @@ func (g *Gateway) schedule() {
 			return
 		case <-g.wake:
 		}
-		for g.dispatchOne() {
-		}
+		g.dispatchBatch()
 	}
 }
 
-// dispatchOne expires dead queued requests, then admits at most one request
-// per the policy; it reports whether it admitted (the scheduler loops until
-// nothing is admissible).
-func (g *Gateway) dispatchOne() bool {
+// dispatchBatch expires dead queued requests, then admits every currently
+// admissible request in one critical section: a burst of completions (or
+// enqueues) costs one lock acquisition and O(log n) heap work per
+// admission, instead of a full tenant scan each. The admitted requests'
+// backend submits are spawned after the lock drops.
+func (g *Gateway) dispatchBatch() {
 	now := time.Now()
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return false
+		return
 	}
 	g.expireLocked(now)
-	if g.inflight >= g.cfg.Window {
-		g.mu.Unlock()
-		return false
+	var admitted []*request
+	for g.inflight < g.cfg.Window && len(g.heap) > 0 {
+		t := g.heap[0]
+		r := g.queues[t].pop()
+		g.inflight++
+		g.tinfl[t]++
+		g.vserved[t] += 1 / g.tenants[t].Weight
+		g.heapSyncLocked(t)
+		admitted = append(admitted, r)
 	}
-	t := g.pickLocked()
-	if t < 0 {
-		g.mu.Unlock()
-		return false
-	}
-	r := g.queues[t][0]
-	g.queues[t] = g.queues[t][1:]
-	g.inflight++
-	g.tinfl[t]++
-	g.vserved[t] += 1 / g.tenants[t].Weight
 	g.mu.Unlock()
 
-	g.wg.Add(1)
-	go g.serve(r)
-	return true
+	for _, r := range admitted {
+		g.wg.Add(1)
+		go g.serve(r)
+	}
 }
 
 // expireLocked drops queued requests whose deadline already passed without
-// spending backend capacity on them.
+// spending backend capacity on them. Only tenants with deadlines are
+// visited, and each tenant's expired requests form a prefix of its deque
+// (one deadline per tenant and monotone enqueue times), so the sweep pops
+// heads instead of filtering whole queues.
 func (g *Gateway) expireLocked(now time.Time) {
-	for t := range g.queues {
+	for _, t := range g.deadlined {
 		d := g.tenants[t].Deadline
-		if d <= 0 {
-			continue
+		q := &g.queues[t]
+		expired := false
+		for q.len() > 0 && now.Sub(q.front().enqueue) > d {
+			r := q.pop()
+			g.counts[t].Expired++
+			r.res <- Result{Tenant: g.tenants[t].Name, Err: ErrDeadlineExceeded}
+			expired = true
 		}
-		kept := g.queues[t][:0]
-		for _, r := range g.queues[t] {
-			if now.Sub(r.enqueue) > d {
-				g.counts[t].Expired++
-				r.res <- Result{Tenant: g.tenants[t].Name, Err: ErrDeadlineExceeded}
-				continue
-			}
-			kept = append(kept, r)
-		}
-		g.queues[t] = kept
-	}
-}
-
-// pickLocked returns the tenant whose head request is admitted next, or -1.
-// The rule is bit-identical to sim.MultiStreamOpts: FIFO takes the lowest
-// global sequence number; WFQ takes the lowest vserved + 1/weight, ties to
-// the lower tenant index.
-func (g *Gateway) pickLocked() int {
-	best := -1
-	var bestFIFO uint64
-	var bestWFQ float64
-	for t := range g.queues {
-		if len(g.queues[t]) == 0 || g.tinfl[t] >= g.tenants[t].Window {
-			continue
-		}
-		switch g.cfg.Policy {
-		case PolicyFIFO:
-			if key := g.queues[t][0].seq; best < 0 || key < bestFIFO {
-				best, bestFIFO = t, key
-			}
-		case PolicyWFQ:
-			if key := g.vserved[t] + 1/g.tenants[t].Weight; best < 0 || key < bestWFQ {
-				best, bestWFQ = t, key
-			}
+		if expired {
+			g.heapSyncLocked(t)
 		}
 	}
-	return best
 }
 
 // serve runs one admitted request on the backend and delivers its Result.
@@ -326,13 +322,18 @@ func (g *Gateway) serve(r *request) {
 		// distribution whether or not it beat the deadline.
 		g.served[t] = append(g.served[t], lat.Seconds())
 	}
+	g.heapSyncLocked(t) // the freed tenant-window slot may readmit t
 	g.mu.Unlock()
 	r.res <- Result{Tenant: name, LatencyMS: lat.Seconds() * 1e3, Err: err}
 	g.kick()
 }
 
 // Summary returns per-tenant outcome counts and latency statistics, in
-// tenant configuration order. It may be called while the gateway is live.
+// tenant configuration order. It may be called while the gateway is live,
+// and it is read-only with respect to the recorded latencies: each
+// tenant's slice is copied into one reusable scratch buffer and sorted
+// there, so repeated Summary calls never reorder (or reallocate per call)
+// the per-tenant history a concurrent serve is appending to.
 func (g *Gateway) Summary() []TenantSummary {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -340,15 +341,15 @@ func (g *Gateway) Summary() []TenantSummary {
 	for t := range g.tenants {
 		s := g.counts[t]
 		if n := len(g.served[t]); n > 0 {
-			sorted := append([]float64(nil), g.served[t]...)
-			sort.Float64s(sorted)
+			g.scratch = append(g.scratch[:0], g.served[t]...)
+			sort.Float64s(g.scratch)
 			var sum float64
-			for _, l := range sorted {
+			for _, l := range g.scratch {
 				sum += l
 			}
 			s.MeanLatMS = sum / float64(n) * 1e3
-			s.P95LatMS = quantile(sorted, 0.95) * 1e3
-			s.MaxLatMS = sorted[n-1] * 1e3
+			s.P95LatMS = quantile(g.scratch, 0.95) * 1e3
+			s.MaxLatMS = g.scratch[n-1] * 1e3
 		}
 		out[t] = s
 	}
@@ -384,9 +385,14 @@ func (g *Gateway) Close() {
 	g.closed = true
 	var rejected []*request
 	for t := range g.queues {
-		rejected = append(rejected, g.queues[t]...)
-		g.counts[t].Failed += len(g.queues[t])
-		g.queues[t] = nil
+		q := &g.queues[t]
+		g.counts[t].Failed += q.len()
+		for q.len() > 0 {
+			rejected = append(rejected, q.pop())
+		}
+		if g.heapIdx[t] >= 0 {
+			g.heapRemoveLocked(t)
+		}
 	}
 	g.mu.Unlock()
 	close(g.done)

@@ -78,6 +78,57 @@ func (c *counter) CallsHelperFromGoroutine() {
 	}()
 }
 
+// stripe / table model the sharded-stripe pattern of the runtime's
+// registration table and stats recorder: hot state split across
+// power-of-2 shards, each stripe guarding its own maps with its own
+// mutex. The router hands out *stripe and every guarded access lives in a
+// method on the stripe itself — so the analyzer sees each stripe as an
+// independently-locked struct and the cross-shard router needs no lock at
+// all.
+type stripe struct {
+	mu      sync.Mutex
+	pending map[uint32]int // guarded by mu
+}
+
+func (s *stripe) add(img uint32) {
+	s.mu.Lock()
+	s.pending[img]++
+	s.mu.Unlock()
+}
+
+func (s *stripe) drainLocked() {
+	for k := range s.pending { // no diagnostic: caller-holds convention
+		delete(s.pending, k)
+	}
+}
+
+func (s *stripe) Leak(img uint32) int {
+	return s.pending[img] // want `s\.pending \(guarded by mu\) accessed in Leak without holding mu`
+}
+
+type table struct {
+	shards [4]stripe
+}
+
+func (t *table) shard(img uint32) *stripe { return &t.shards[img&3] }
+
+// Route is lock-free at the table level: the guarded access happens inside
+// the routed stripe's own method.
+func (t *table) Route(img uint32) { t.shard(img).add(img) }
+
+func (t *table) DrainAll() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.drainLocked()
+		s.mu.Unlock()
+	}
+}
+
+func (s *stripe) drainUnheld() {
+	s.drainLocked() // want `s\.drainLocked is a Locked-suffix helper called in drainUnheld without holding mu`
+}
+
 type gauge struct {
 	rw sync.RWMutex
 	v  float64 // guarded by rw

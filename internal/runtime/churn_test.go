@@ -90,12 +90,10 @@ func TestRecoverFromKilledProvider(t *testing.T) {
 	// watermark must have passed every allocated id — a stall here means
 	// recovery leaked bookkeeping (and provider state) for an id whose
 	// waiter lost the done-vs-failed race.
-	cl.resMu.Lock()
-	pending, completedIDs, gcLow, nextImg := len(cl.pending), len(cl.completed), cl.gcLow, cl.nextImg
-	cl.resMu.Unlock()
-	if pending != 0 || completedIDs != 0 || gcLow != nextImg+1 {
+	bk := cl.bookkeeping()
+	if bk.pending != 0 || bk.completed != 0 || bk.gcLow != bk.nextImg+1 {
 		t.Errorf("requester bookkeeping leaked: pending=%d completed=%d gcLow=%d nextImg=%d",
-			pending, completedIDs, gcLow, nextImg)
+			bk.pending, bk.completed, bk.gcLow, bk.nextImg)
 	}
 }
 

@@ -415,48 +415,72 @@ func (p *Provider) sendLoop() {
 	}
 }
 
-// destSender ships chunks to one destination in order. Failures while the
-// cluster is live are reported so the requester can fail the run
-// immediately instead of waiting out the per-image timeout.
+// destSender ships chunks to one destination in order, coalescing flushes
+// across bursts: the channel backlog is the queue-drain signal, so a run
+// of small chunks headed to the same peer shares one socket write (on
+// transports without buffered sends the Coalescer degenerates to plain
+// per-message Send). Failures while the cluster is live are reported so
+// the requester can fail the run immediately instead of waiting out the
+// per-image timeout.
 func (p *Provider) destSender(dest int, w chan outMsg) {
 	defer p.wg.Done()
+	var co *transport.Coalescer
 	for {
 		select {
 		case <-p.done:
 			return
 		case o := <-w:
-			if err := p.sendTo(dest, o.ch); err != nil {
-				select {
-				case <-p.done:
-					// Shutting down: connection teardown is expected.
-				default:
-					p.report(dest, fmt.Errorf("runtime: provider %d send to %d: %w", p.plan.Index, dest, err))
+			if co == nil {
+				c, err := p.peerConn(dest)
+				if err != nil {
+					p.reportSendErr(dest, err)
+					continue // retry the dial on the next chunk
 				}
+				co = transport.NewCoalescer(c)
+			}
+			if err := co.Send(o.ch, len(w) > 0); err != nil {
+				p.reportSendErr(dest, err)
 				continue
 			}
-			p.rec.addSent()
+			p.rec.addSent(dest)
 		}
 	}
 }
 
-func (p *Provider) sendTo(dest int, ch Chunk) error {
-	p.peerMu.Lock()
-	o, ok := p.peers[dest]
-	if !ok {
-		addr, has := p.peerAddrs[dest]
-		if !has {
-			p.peerMu.Unlock()
-			return fmt.Errorf("runtime: provider %d has no address for %d", p.plan.Index, dest)
-		}
-		c, err := p.tr.Dial(p.plan.Index, addr)
-		if err != nil {
-			p.peerMu.Unlock()
-			return err
-		}
-		o = c
-		p.peers[dest] = o
+// reportSendErr reports a send failure to the cluster unless the provider
+// is shutting down (connection teardown is expected then).
+func (p *Provider) reportSendErr(dest int, err error) {
+	select {
+	case <-p.done:
+	default:
+		p.report(dest, fmt.Errorf("runtime: provider %d send to %d: %w", p.plan.Index, dest, err))
 	}
-	p.peerMu.Unlock()
+}
+
+// peerConn returns the lazily-dialled outbound link to dest.
+func (p *Provider) peerConn(dest int) (transport.Conn, error) {
+	p.peerMu.Lock()
+	defer p.peerMu.Unlock()
+	if o, ok := p.peers[dest]; ok {
+		return o, nil
+	}
+	addr, has := p.peerAddrs[dest]
+	if !has {
+		return nil, fmt.Errorf("runtime: provider %d has no address for %d", p.plan.Index, dest)
+	}
+	c, err := p.tr.Dial(p.plan.Index, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.peers[dest] = c
+	return c, nil
+}
+
+func (p *Provider) sendTo(dest int, ch Chunk) error {
+	o, err := p.peerConn(dest)
+	if err != nil {
+		return err
+	}
 	return o.Send(ch)
 }
 

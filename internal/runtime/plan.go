@@ -164,6 +164,29 @@ type Plan struct {
 	Await []Need
 }
 
+// maxChunkBytes returns the largest payload any chunk of this plan ships —
+// scatter rows from the requester or routed activation rows between
+// providers. Deploy passes it to transport.SetBufferHint so wire buffers
+// cover a whole chunk.
+func (p *Plan) maxChunkBytes() int {
+	max := 0
+	for _, need := range p.Scatter {
+		if n := (need.Hi - need.Lo) * p.InputRowBytes; n > max {
+			max = n
+		}
+	}
+	for _, pp := range p.Providers {
+		for _, st := range pp.Steps {
+			for _, r := range st.Routes {
+				if n := (r.Hi - r.Lo) * st.RowBytes; n > max {
+					max = n
+				}
+			}
+		}
+	}
+	return max
+}
+
 // BuildPlan compiles a strategy into a deployment plan. The env supplies
 // the model (for geometry) and device profiles (for emulated compute).
 func BuildPlan(env *sim.Env, strat *strategy.Strategy, opts Options) (*Plan, error) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"distredge/internal/splitter"
+	"distredge/internal/transport"
 )
 
 // recover is the churn-recovery procedure RunPipelined invokes between
@@ -85,23 +86,13 @@ func (c *Cluster) recover() (float64, error) {
 		delete(c.links, d)
 	}
 	c.linkMu.Unlock()
-	c.resMu.Lock()
-	for img := range c.pending {
-		delete(c.pending, img)
-	}
-	for img := range c.arrived {
-		delete(c.arrived, img)
-	}
+	c.reg.drainAll()
 	// Every id allocated so far is now either delivered or dead — including
 	// ids whose results fully arrived but whose waiter observed the failure
 	// before calling complete() (that race would otherwise wedge the
-	// watermark forever). Advance it past all of them; the redeployed
-	// providers start with no state for it to guard anyway.
-	for c.gcLow <= c.nextImg {
-		delete(c.completed, c.gcLow)
-		c.gcLow++
-	}
-	c.resMu.Unlock()
+	// watermark forever). Advance the cursor past all of them; the
+	// redeployed providers start with no state for it to guard anyway.
+	c.wm.drainThrough(c.nextImg.Load())
 
 	// 3. Re-plan over the survivors, for the objective being served.
 	replan := c.opts.Replan
@@ -116,6 +107,9 @@ func (c *Cluster) recover() (float64, error) {
 	if err != nil {
 		return msSince(t0), fmt.Errorf("runtime: re-plan compiled an invalid strategy: %w", err)
 	}
+	// The survivors' plan may ship different chunk sizes; re-hint the wire
+	// buffers before their conns are dialled.
+	transport.SetBufferHint(c.tr, plan.maxChunkBytes())
 
 	// 4. Open a new epoch and redeploy the survivors.
 	c.failMu.Lock()

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distredge/internal/sim"
@@ -33,15 +34,13 @@ type Cluster struct {
 	// successive images enter the uplink one at a time, matching the
 	// pipeline simulator's uplink busy floor no matter how many callers
 	// (RunPipelined's admission loop, gateway Submits) race to admit.
-	sendMu  sync.Mutex
-	resMu   sync.Mutex
-	pending map[uint32]map[chunkKey]bool // guarded by resMu
-	arrived map[uint32]chan struct{}     // guarded by resMu
-	// completed / gcLow implement the window-aware gc watermark: provider
-	// state is dropped only below the lowest image that has not completed.
-	completed map[uint32]bool // guarded by resMu
-	gcLow     uint32          // guarded by resMu
-	nextImg   uint32          // guarded by resMu; monotonic across runs, so image ids are never reused
+	sendMu sync.Mutex
+	// Registration hot state is sharded by image id (reg) with the gc
+	// cursor on its own mutex (wm), so concurrent Submit callers and
+	// provider result fan-in stop serialising on one lock; see shards.go.
+	reg     *regTable
+	wm      *watermark
+	nextImg atomic.Uint32 // monotonic across runs, so image ids are never reused
 
 	links  map[int]transport.Conn // guarded by linkMu
 	linkMu sync.Mutex
@@ -71,24 +70,25 @@ func Deploy(env *sim.Env, strat *strategy.Strategy, opts Options) (*Cluster, err
 	}
 	n := env.NumProviders()
 	c := &Cluster{
-		env:       env,
-		opts:      opts,
-		strat:     strat,
-		plan:      plan,
-		alive:     make([]bool, n),
-		pending:   make(map[uint32]map[chunkKey]bool),
-		arrived:   make(map[uint32]chan struct{}),
-		completed: make(map[uint32]bool),
-		gcLow:     1,
-		tr:        opts.Transport,
-		links:     make(map[int]transport.Conn),
-		done:      make(chan struct{}),
-		failed:    make(chan struct{}),
-		failIdx:   -1,
+		env:     env,
+		opts:    opts,
+		strat:   strat,
+		plan:    plan,
+		alive:   make([]bool, n),
+		reg:     newRegTable(),
+		wm:      newWatermark(),
+		tr:      opts.Transport,
+		links:   make(map[int]transport.Conn),
+		done:    make(chan struct{}),
+		failed:  make(chan struct{}),
+		failIdx: -1,
 	}
 	for i := range c.alive {
 		c.alive[i] = true
 	}
+	// Size the transport's wire buffers to the largest chunk the plan will
+	// ship, so a full chunk crosses to the socket in one write.
+	transport.SetBufferHint(c.tr, plan.maxChunkBytes())
 	addrs := make(map[int]string)
 	for _, pp := range plan.Providers {
 		p, err := newProvider(pp, 0, opts.HeartbeatInterval, opts.Batch, c.providerFailFn(0), c.tr)
@@ -212,18 +212,8 @@ func (c *Cluster) acceptResults() {
 				// Result payloads are bookkeeping-only: recycle them once
 				// the pending set is updated below.
 				transport.RecyclePayload(c.tr, ch.Payload)
-				c.resMu.Lock()
-				if m, ok := c.pending[ch.Image]; ok {
-					delete(m, chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)})
-					if len(m) == 0 {
-						delete(c.pending, ch.Image)
-						if done, ok := c.arrived[ch.Image]; ok {
-							close(done)
-							delete(c.arrived, ch.Image)
-						}
-					}
-				}
-				c.resMu.Unlock()
+				c.reg.shard(ch.Image).chunkArrived(ch.Image,
+					chunkKey{int(ch.Volume), int(ch.Lo), int(ch.Hi)})
 			}
 		}()
 	}
@@ -235,16 +225,12 @@ func (c *Cluster) register() (uint32, chan struct{}) {
 	c.provMu.Lock()
 	plan := c.plan // recovery swaps the plan wholesale; snapshot the pointer
 	c.provMu.Unlock()
-	c.resMu.Lock()
-	c.nextImg++
-	img := c.nextImg
+	img := c.nextImg.Add(1)
 	m := make(map[chunkKey]bool, len(plan.Await))
 	for _, a := range plan.Await {
 		m[chunkKey{a.Volume, a.Lo, a.Hi}] = true
 	}
-	c.pending[img] = m
-	c.arrived[img] = done
-	c.resMu.Unlock()
+	c.reg.shard(img).register(img, m, done)
 	return img, done
 }
 
@@ -255,10 +241,7 @@ func (c *Cluster) register() (uint32, chan struct{}) {
 // wedges below the dead id forever and provider assembly state above it is
 // never collected again.
 func (c *Cluster) dropRegistration(img uint32) {
-	c.resMu.Lock()
-	delete(c.pending, img)
-	delete(c.arrived, img)
-	c.resMu.Unlock()
+	c.reg.shard(img).drop(img)
 	c.complete(img)
 }
 
@@ -267,14 +250,7 @@ func (c *Cluster) dropRegistration(img uint32) {
 // completed, so an early finisher never tears down state a straggler in the
 // admission window still needs.
 func (c *Cluster) complete(img uint32) {
-	c.resMu.Lock()
-	c.completed[img] = true
-	for c.completed[c.gcLow] {
-		delete(c.completed, c.gcLow)
-		c.gcLow++
-	}
-	low := c.gcLow
-	c.resMu.Unlock()
+	low := c.wm.complete(img)
 	c.provMu.Lock()
 	provs := append([]*Provider(nil), c.providers...)
 	c.provMu.Unlock()

@@ -21,43 +21,80 @@ type ProviderStats struct {
 	MaxBatch    int
 }
 
-// statsRecorder is embedded in Provider; all methods are safe for
-// concurrent use by the three worker goroutines.
-type statsRecorder struct {
+// numStatStripes stripes a provider's counters across independent mutexes
+// so the compute thread, the receive thread and every per-destination
+// sender record without contending: compute and receive own fixed stripes,
+// sends stripe by destination. Must be a power of two.
+const numStatStripes = 8
+
+const (
+	computeStripe = 0 // only the compute thread writes here
+	recvStripe    = 1 // only the receive thread writes here
+)
+
+// statStripe is one stripe's partial counters.
+type statStripe struct {
 	mu    sync.Mutex
-	stats ProviderStats // guarded by mu
+	stats ProviderStats // guarded by mu; partial counts, summed by snapshot
+}
+
+// statsRecorder is embedded in Provider; all methods are safe for
+// concurrent use by the worker goroutines, and the striping keeps the
+// per-chunk counter updates off one shared lock.
+type statsRecorder struct {
+	stripes [numStatStripes]statStripe
 }
 
 // addComputeBatch records one compute invocation covering n step instances
 // (n > 1 only when the compute loop coalesced queued same-step images).
 func (s *statsRecorder) addComputeBatch(sec float64, n int) {
-	s.mu.Lock()
-	s.stats.ComputeSec += sec
-	s.stats.StepsExecuted += n
-	s.stats.Invocations++
-	if n > s.stats.MaxBatch {
-		s.stats.MaxBatch = n
+	st := &s.stripes[computeStripe]
+	st.mu.Lock()
+	st.stats.ComputeSec += sec
+	st.stats.StepsExecuted += n
+	st.stats.Invocations++
+	if n > st.stats.MaxBatch {
+		st.stats.MaxBatch = n
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 }
 
 func (s *statsRecorder) addReceived() {
-	s.mu.Lock()
-	s.stats.ChunksReceived++
-	s.mu.Unlock()
+	st := &s.stripes[recvStripe]
+	st.mu.Lock()
+	st.stats.ChunksReceived++
+	st.mu.Unlock()
 }
 
-func (s *statsRecorder) addSent() {
-	s.mu.Lock()
-	s.stats.ChunksSent++
-	s.mu.Unlock()
+// addSent stripes by destination: each destSender goroutine lands on its
+// own stripe (modulo collisions past numStatStripes destinations).
+func (s *statsRecorder) addSent(dest int) {
+	st := &s.stripes[uint(dest+1)&(numStatStripes-1)]
+	st.mu.Lock()
+	st.stats.ChunksSent++
+	st.mu.Unlock()
 }
 
+// snapshot sums the stripes into one consistent-enough view: each stripe
+// is read under its own lock, so per-stripe counts are exact and the total
+// can lag a concurrent writer by at most the chunks in flight during the
+// read — the same guarantee the single-mutex recorder gave a caller
+// reading mid-run.
 func (s *statsRecorder) snapshot(index int) ProviderStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.stats
-	out.Index = index
+	out := ProviderStats{Index: index}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out.ComputeSec += st.stats.ComputeSec
+		out.StepsExecuted += st.stats.StepsExecuted
+		out.ChunksReceived += st.stats.ChunksReceived
+		out.ChunksSent += st.stats.ChunksSent
+		out.Invocations += st.stats.Invocations
+		if st.stats.MaxBatch > out.MaxBatch {
+			out.MaxBatch = st.stats.MaxBatch
+		}
+		st.mu.Unlock()
+	}
 	return out
 }
 

@@ -37,16 +37,13 @@ func TestScatterFailureDropsRegistration(t *testing.T) {
 	}
 	// The failed admission must leave no bookkeeping behind: the watermark
 	// has passed the dead id and nothing is pending or armed.
-	cl.resMu.Lock()
-	pending, arrived, completed := len(cl.pending), len(cl.arrived), len(cl.completed)
-	gcLow, nextImg := cl.gcLow, cl.nextImg
-	cl.resMu.Unlock()
-	if nextImg == 0 {
+	bk := cl.bookkeeping()
+	if bk.nextImg == 0 {
 		t.Fatal("no image was ever registered — the scatter did not run")
 	}
-	if pending != 0 || arrived != 0 || completed != 0 || gcLow != nextImg+1 {
+	if bk.pending != 0 || bk.arrived != 0 || bk.completed != 0 || bk.gcLow != bk.nextImg+1 {
 		t.Errorf("failed admission leaked bookkeeping: pending=%d arrived=%d completed=%d gcLow=%d nextImg=%d (want gcLow=nextImg+1 and all maps empty)",
-			pending, arrived, completed, gcLow, nextImg)
+			bk.pending, bk.arrived, bk.completed, bk.gcLow, bk.nextImg)
 	}
 	// Failure is sticky on a non-recover cluster.
 	if err := cl.Submit(); err == nil || !strings.Contains(err.Error(), "already failed") {
@@ -83,14 +80,12 @@ func TestSubmitConcurrent(t *testing.T) {
 			t.Errorf("submit %d: %v", i, err)
 		}
 	}
-	cl.resMu.Lock()
-	pending, completed, gcLow, nextImg := len(cl.pending), len(cl.completed), cl.gcLow, cl.nextImg
-	cl.resMu.Unlock()
-	if nextImg != n {
-		t.Errorf("allocated %d ids for %d submits", nextImg, n)
+	bk := cl.bookkeeping()
+	if bk.nextImg != n {
+		t.Errorf("allocated %d ids for %d submits", bk.nextImg, n)
 	}
-	if pending != 0 || completed != 0 || gcLow != nextImg+1 {
+	if bk.pending != 0 || bk.completed != 0 || bk.gcLow != bk.nextImg+1 {
 		t.Errorf("bookkeeping leaked after concurrent submits: pending=%d completed=%d gcLow=%d nextImg=%d",
-			pending, completed, gcLow, nextImg)
+			bk.pending, bk.completed, bk.gcLow, bk.nextImg)
 	}
 }

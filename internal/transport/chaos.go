@@ -51,6 +51,11 @@ func (t *Chaos) Name() string { return "chaos+" + t.inner.Name() }
 func (t *Chaos) GetPayload(n int) []byte { return GetPayload(t.inner, n) }
 func (t *Chaos) PutPayload(b []byte)     { RecyclePayload(t.inner, b) }
 
+// SetBufferHint forwards the deployment's max-chunk size to the inner
+// transport. Chaos conns stay on the per-message Send path (every message
+// must roll its own drop/delay dice), so only buffer sizing crosses.
+func (t *Chaos) SetBufferHint(maxChunkBytes int) { SetBufferHint(t.inner, maxChunkBytes) }
+
 // Isolate partitions a device from everyone until Heal: every send to or
 // from it fails immediately — including on connections established before
 // the partition, heartbeats included — and new dials are refused. The

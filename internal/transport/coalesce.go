@@ -1,0 +1,94 @@
+package transport
+
+// coalesceMaxMessages bounds how many buffered sends a Coalescer admits
+// before forcing a flush even while its queue still has backlog: a sender
+// that never drains must not defer the wire indefinitely, and capping the
+// batch keeps per-flush latency jitter small.
+const coalesceMaxMessages = 64
+
+// BatchConn is implemented by connections that can defer the socket flush
+// across several sends. SendBuffered frames the message without pushing it
+// to the wire (the payload ownership contract is identical to Send); Flush
+// pushes everything buffered in one write. Connections without real write
+// buffers (inproc — messages cross by reference) simply don't implement
+// it, and callers fall back to plain Send via Coalescer.
+type BatchConn interface {
+	SendBuffered(m Message) error
+	Flush() error
+}
+
+// BufferSizer is implemented by transports whose connections carry sized
+// write/read buffers. SetBufferHint tells the transport the largest data
+// chunk the deployment will ship, so conns created afterwards can size
+// their buffers to pass a full chunk to the socket in a single write.
+// Decorators forward the hint to their inner transport.
+type BufferSizer interface {
+	SetBufferHint(maxChunkBytes int)
+}
+
+// SetBufferHint forwards a max-chunk-bytes hint to the transport if it
+// (or, through decorator forwarding, its inner transport) sizes buffers.
+// No-op otherwise.
+func SetBufferHint(t Transport, maxChunkBytes int) {
+	if bs, ok := t.(BufferSizer); ok {
+		bs.SetBufferHint(maxChunkBytes)
+	}
+}
+
+// Coalescer adapts one connection for a queue-draining sender: each Send
+// takes a `more` signal (is there backlog behind this message?) and defers
+// the socket flush while backlog remains, so a burst of small chunks
+// shares one syscall. The flush triggers when the queue drains, when
+// coalesceMaxMessages accumulate, or when the conn's own byte threshold
+// spills — whichever comes first, keeping added latency bounded to the
+// burst the sender was already behind. On connections without BatchConn
+// (inproc, shaped, chaos) every call degenerates to a plain Send, which
+// also keeps fault-injecting decorators on their per-message path.
+//
+// Not safe for concurrent use: a Coalescer belongs to the single sender
+// goroutine that owns the queue (Conn.Send itself remains concurrency-safe
+// for other callers, e.g. heartbeats sharing the conn — a concurrent plain
+// Send simply flushes anything the Coalescer had buffered).
+type Coalescer struct {
+	conn Conn
+	bc   BatchConn // nil: conn cannot batch, Send degenerates
+	n    int       // messages buffered since the last flush
+}
+
+// NewCoalescer wraps c. The BatchConn capability is probed once here.
+func NewCoalescer(c Conn) *Coalescer {
+	co := &Coalescer{conn: c}
+	if bc, ok := c.(BatchConn); ok {
+		co.bc = bc
+	}
+	return co
+}
+
+// Send ships m, flushing only when more is false (the sender's queue is
+// drained) or the batch cap is reached. An error from the deferred flush
+// surfaces here, on the message that triggered it.
+func (co *Coalescer) Send(m Message, more bool) error {
+	if co.bc == nil {
+		return co.conn.Send(m)
+	}
+	if err := co.bc.SendBuffered(m); err != nil {
+		return err
+	}
+	co.n++
+	if !more || co.n >= coalesceMaxMessages {
+		co.n = 0
+		return co.bc.Flush()
+	}
+	return nil
+}
+
+// Flush pushes any deferred frames to the wire. Needed when the sender
+// parks without a final Send(m, false) — e.g. before blocking on a
+// condition unrelated to its queue.
+func (co *Coalescer) Flush() error {
+	if co.bc == nil || co.n == 0 {
+		return nil
+	}
+	co.n = 0
+	return co.bc.Flush()
+}

@@ -97,6 +97,12 @@ func (t *Shaped) ChargePostCodec() *Shaped {
 func (t *Shaped) GetPayload(n int) []byte { return GetPayload(t.inner, n) }
 func (t *Shaped) PutPayload(b []byte)     { RecyclePayload(t.inner, b) }
 
+// SetBufferHint forwards the deployment's max-chunk size to the inner
+// transport. Shaped conns themselves stay on the per-message Send path
+// (each payload must be charged individually), so only the buffer sizing
+// crosses the decorator.
+func (t *Shaped) SetBufferHint(maxChunkBytes int) { SetBufferHint(t.inner, maxChunkBytes) }
+
 // traceTime returns the current trace time in model seconds, anchoring
 // the wall clock at the first charged send.
 func (t *Shaped) traceTime() float64 {

@@ -4,41 +4,92 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+const (
+	// defaultBufferBytes sizes a conn's bufio reader/writer when no explicit
+	// size and no buffer hint was given. 32 KiB covers the typical activation
+	// chunk of the evaluation models; SetBufferHint overrides it per
+	// deployment so the largest planned chunk never splits across writes.
+	defaultBufferBytes = 32 << 10
+
+	// minBufferBytes / maxBufferBytes clamp hint-derived buffer sizes: a
+	// degenerate plan must not shrink buffers below one control frame, and a
+	// giant chunk must not pin megabytes per conn times n^2 conns.
+	minBufferBytes = 4 << 10
+	maxBufferBytes = 1 << 20
+
+	// coalesceFlushBytes is the byte threshold at which a buffered send
+	// flushes even though more messages are queued behind it: past this the
+	// write is syscall-efficient already, and flushing bounds how much a
+	// burst can sit unsent in the bufio buffer.
+	coalesceFlushBytes = 64 << 10
+)
+
+// TCPConfig parameterises the localhost TCP transport beyond the common
+// NewTCP/NewPooledTCP constructors.
+type TCPConfig struct {
+	Codec Codec // nil = Binary
+	Pool  *Pool // nil = no payload pooling
+
+	// SyncFlush restores the pre-coalescing wire behaviour: every send —
+	// buffered or not — flushes to the socket before returning, one syscall
+	// per message. It exists as the measured baseline for the adaptive
+	// flush policy (ParseTransport "tcp+sync", the -fig hotpath baseline
+	// rows), not as a serving configuration.
+	SyncFlush bool
+
+	// BufferBytes sizes each conn's bufio reader and writer. 0 defers to
+	// the deployment's SetBufferHint (and defaultBufferBytes before any
+	// hint arrives).
+	BufferBytes int
+}
 
 // tcpTransport carries messages over localhost TCP sockets — the original
 // runtime wire stack, now behind the Transport interface with the codec
-// made pluggable and an optional payload pool (nil = plain allocation).
+// made pluggable, an optional payload pool (nil = plain allocation), and
+// adaptive flush coalescing on the buffered send path.
 type tcpTransport struct {
 	codec Codec
 	pool  *Pool
+	cfg   TCPConfig
+	hint  atomic.Int64 // SetBufferHint: max chunk bytes of the deployment
 }
 
 // NewTCP returns the localhost TCP transport using the given codec
 // (nil = Binary, the length-prefixed chunk codec; use Gob for the legacy
 // wire format). No payload pooling; see NewPooledTCP.
 func NewTCP(codec Codec) Transport {
-	if codec == nil {
-		codec = Binary()
-	}
-	return &tcpTransport{codec: codec}
+	return NewTCPOpts(TCPConfig{Codec: codec})
 }
 
 // NewPooledTCP is NewTCP with payload pooling: sent data payloads are
 // recycled once serialised (the socket copy makes them dead the moment
-// Send returns), and received payloads are decoded into pooled buffers the
-// consumer hands back with PutPayload. pool nil allocates a private pool.
+// the send returns), and received payloads are decoded into pooled buffers
+// the consumer hands back with PutPayload. pool nil allocates a private
+// pool.
 func NewPooledTCP(codec Codec, pool *Pool) Transport {
-	if codec == nil {
-		codec = Binary()
-	}
 	if pool == nil {
 		pool = NewPool()
 	}
-	return &tcpTransport{codec: codec, pool: pool}
+	return NewTCPOpts(TCPConfig{Codec: codec, Pool: pool})
 }
 
-func (t *tcpTransport) Name() string { return "tcp+" + t.codec.Name() }
+// NewTCPOpts returns a localhost TCP transport with full configuration.
+func NewTCPOpts(cfg TCPConfig) Transport {
+	if cfg.Codec == nil {
+		cfg.Codec = Binary()
+	}
+	return &tcpTransport{codec: cfg.Codec, pool: cfg.Pool, cfg: cfg}
+}
+
+func (t *tcpTransport) Name() string {
+	if t.cfg.SyncFlush {
+		return "tcp+" + t.codec.Name() + "+sync"
+	}
+	return "tcp+" + t.codec.Name()
+}
 
 // WireCodec exposes the codec frames actually cross the socket in, so a
 // wrapping Shaped transport can charge post-codec bytes (quantized or
@@ -50,12 +101,41 @@ func (t *tcpTransport) WireCodec() Codec { return t.codec }
 func (t *tcpTransport) GetPayload(n int) []byte { return t.pool.Get(n) }
 func (t *tcpTransport) PutPayload(b []byte)     { t.pool.Put(b) }
 
+// SetBufferHint implements BufferSizer: conns created after the call size
+// their bufio buffers to hold one max-size chunk plus framing, so a full
+// chunk reaches the socket in a single write instead of splitting into
+// buffer-sized partial writes. An explicit TCPConfig.BufferBytes wins.
+func (t *tcpTransport) SetBufferHint(maxChunkBytes int) {
+	if maxChunkBytes > 0 {
+		t.hint.Store(int64(maxChunkBytes))
+	}
+}
+
+// bufBytes resolves the conn buffer size: explicit config, then the
+// deployment hint (clamped), then the default.
+func (t *tcpTransport) bufBytes() int {
+	if t.cfg.BufferBytes > 0 {
+		return t.cfg.BufferBytes
+	}
+	if h := t.hint.Load(); h > 0 {
+		n := int(h) + chunkHeaderLen
+		if n < minBufferBytes {
+			n = minBufferBytes
+		}
+		if n > maxBufferBytes {
+			n = maxBufferBytes
+		}
+		return n
+	}
+	return defaultBufferBytes
+}
+
 func (t *tcpTransport) Listen(self int) (Listener, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{ln: ln, codec: t.codec, pool: t.pool}, nil
+	return &tcpListener{ln: ln, t: t}, nil
 }
 
 func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
@@ -63,16 +143,15 @@ func (t *tcpTransport) Dial(self int, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c, t.codec, t.pool), nil
+	return newTCPConn(c, t), nil
 }
 
 // tcpListener tracks accepted connections so Close tears them down with the
 // listener: a closed endpoint looks like a dead process to its peers (their
 // next send fails) instead of a half-open socket that swallows traffic.
 type tcpListener struct {
-	ln    net.Listener
-	codec Codec
-	pool  *Pool
+	ln net.Listener
+	t  *tcpTransport
 
 	mu       sync.Mutex
 	accepted []*tcpConn // guarded by mu
@@ -84,7 +163,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	tc := newTCPConn(c, l.codec, l.pool)
+	tc := newTCPConn(c, l.t)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -117,35 +196,40 @@ func (l *tcpListener) Close() error {
 
 // tcpConn frames messages over one socket. Sends are serialised by a mutex
 // (the compute results and heartbeats of one provider share its result
-// link) and buffered per message: the codec writes header and payload
-// separately, and coalescing them into one flush halves the syscalls on
-// the hot path.
+// link). Send flushes before returning so lone messages and errors stay
+// synchronous; SendBuffered defers the flush to the caller's Flush (or to
+// the coalesceFlushBytes spill threshold), which is how a queue-draining
+// sender shares one syscall across a burst of small chunks.
 type tcpConn struct {
 	c    net.Conn
 	pool *Pool
+	sync bool // SyncFlush config: SendBuffered flushes too
 
-	sendMu sync.Mutex
-	bw     *bufio.Writer
-	enc    Encoder
+	sendMu  sync.Mutex
+	bw      *bufio.Writer // guarded by sendMu
+	enc     Encoder       // guarded by sendMu
+	pending bool          // guarded by sendMu; encoded frames await a flush
 
 	recvMu sync.Mutex
 	dec    Decoder
 }
 
-func newTCPConn(c net.Conn, codec Codec, pool *Pool) *tcpConn {
-	bw := bufio.NewWriter(c)
-	br := bufio.NewReader(c)
+func newTCPConn(c net.Conn, t *tcpTransport) *tcpConn {
+	size := t.bufBytes()
+	bw := bufio.NewWriterSize(c, size)
+	br := bufio.NewReaderSize(c, size)
 	var dec Decoder
-	if pc, ok := codec.(pooledCodec); ok && pool != nil {
-		dec = pc.NewPooledDecoder(br, pool)
+	if pc, ok := t.codec.(pooledCodec); ok && t.pool != nil {
+		dec = pc.NewPooledDecoder(br, t.pool)
 	} else {
-		dec = codec.NewDecoder(br)
+		dec = t.codec.NewDecoder(br)
 	}
 	return &tcpConn{
 		c:    c,
-		pool: pool,
+		pool: t.pool,
+		sync: t.cfg.SyncFlush,
 		bw:   bw,
-		enc:  codec.NewEncoder(bw),
+		enc:  t.codec.NewEncoder(bw),
 		dec:  dec,
 	}
 }
@@ -153,19 +237,55 @@ func newTCPConn(c net.Conn, codec Codec, pool *Pool) *tcpConn {
 func (c *tcpConn) Send(m Message) error {
 	// The payload is captured before Encode (codecs may rewrite the
 	// message's payload field while framing) and recycled after the
-	// flush: the socket write copied it, so ownership — transferred to
-	// the transport by the Send contract — ends here.
+	// encode: by then the bytes live in the bufio buffer or on the socket,
+	// so ownership — transferred to the transport by the Send contract —
+	// ends here.
 	payload := m.Payload
 	c.sendMu.Lock()
 	err := c.enc.Encode(&m)
 	if err == nil {
 		err = c.bw.Flush()
+		c.pending = false
 	}
 	c.sendMu.Unlock()
 	if c.pool != nil && !m.control() {
 		c.pool.Put(payload)
 	}
 	return err
+}
+
+// SendBuffered implements BatchConn: the message is framed into the write
+// buffer but only pushed to the socket once the buffer passes the spill
+// threshold (or on Flush / a plain Send). An encode error is returned
+// immediately; a deferred socket error surfaces on the flushing call.
+func (c *tcpConn) SendBuffered(m Message) error {
+	payload := m.Payload
+	c.sendMu.Lock()
+	err := c.enc.Encode(&m)
+	if err == nil {
+		c.pending = true
+		if c.sync || c.bw.Buffered() >= coalesceFlushBytes {
+			err = c.bw.Flush()
+			c.pending = false
+		}
+	}
+	c.sendMu.Unlock()
+	if c.pool != nil && !m.control() {
+		c.pool.Put(payload)
+	}
+	return err
+}
+
+// Flush implements BatchConn: any frames SendBuffered left in the write
+// buffer go to the socket in one write.
+func (c *tcpConn) Flush() error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if !c.pending {
+		return nil
+	}
+	c.pending = false
+	return c.bw.Flush()
 }
 
 func (c *tcpConn) Recv() (Message, error) {

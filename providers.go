@@ -179,6 +179,9 @@ func ParseTenants(spec string) ([]sim.TenantSpec, error) {
 // -transport flag:
 //
 //	tcp              — localhost TCP sockets, binary chunk codec (the default)
+//	tcp+sync         — tcp with per-message flushing (one syscall per chunk;
+//	                   the pre-coalescing wire, kept as the measured baseline
+//	                   for `distbench -fig hotpath`)
 //	tcp+gob          — localhost TCP sockets, legacy gob wire format
 //	tcp+deflate      — tcp with DEFLATE-compressed chunk payloads (worth the
 //	                   CPU on low-bandwidth shaped links; see DESIGN.md)
@@ -201,6 +204,8 @@ func ParseTransport(spec string) (transport.Transport, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "tcp":
 		return transport.NewPooledTCP(nil, nil), nil
+	case "tcp+sync":
+		return transport.NewTCPOpts(transport.TCPConfig{SyncFlush: true, Pool: transport.NewPool()}), nil
 	case "tcp+gob":
 		return transport.NewTCP(transport.Gob()), nil
 	case "tcp+deflate":
@@ -214,7 +219,7 @@ func ParseTransport(spec string) (transport.Transport, error) {
 	case "inproc":
 		return transport.NewPooledInproc(nil), nil
 	default:
-		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc)", spec)
+		return nil, fmt.Errorf("distredge: unknown transport %q (want tcp|tcp+sync|tcp+gob|tcp+deflate|tcp+quant|tcp+quant16|tcp+quant+deflate|inproc)", spec)
 	}
 }
 

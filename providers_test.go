@@ -107,6 +107,7 @@ func TestParseTransport(t *testing.T) {
 	for spec, wantName := range map[string]string{
 		"":                  "tcp+binary",
 		"tcp":               "tcp+binary",
+		"tcp+sync":          "tcp+binary+sync",
 		"tcp+gob":           "tcp+gob",
 		"tcp+deflate":       "tcp+deflate",
 		"tcp+quant":         "tcp+quant8",
